@@ -1,0 +1,51 @@
+// Fig. 11: WaterWise across cluster utilization levels (5%/15%/25%),
+// obtained by changing the number of available servers per region.
+#include "common.hpp"
+
+int main() {
+  using namespace ww;
+  bench::banner("Figure 11: utilization sensitivity", "Sec. 6, Fig. 11");
+
+  const auto jobs =
+      trace::generate_trace(trace::borg_config(7, bench::campaign_days()));
+  // 15% utilization is the paper's default (175 servers).  5% => 3x servers,
+  // 25% => 0.6x servers.
+  const std::vector<std::pair<std::string, double>> levels = {
+      {"5%", 3.0}, {"15%", 1.0}, {"25%", 0.6}};
+
+  struct Row {
+    dc::CampaignResult base, carbon, water, ww;
+  };
+  std::vector<Row> rows(levels.size());
+  util::ThreadPool pool;
+  pool.parallel_for(levels.size() * 4, [&](std::size_t k) {
+    const std::size_t i = k / 4;
+    bench::CampaignSpec spec;
+    spec.tol = 0.5;
+    spec.capacity_scale = levels[i].second;
+    switch (k % 4) {
+      case 0: rows[i].base = bench::run_policy(jobs, bench::Policy::Baseline, spec); break;
+      case 1: rows[i].carbon = bench::run_policy(jobs, bench::Policy::CarbonGreedyOpt, spec); break;
+      case 2: rows[i].water = bench::run_policy(jobs, bench::Policy::WaterGreedyOpt, spec); break;
+      case 3: rows[i].ww = bench::run_policy(jobs, bench::Policy::WaterWise, spec); break;
+    }
+  });
+
+  util::Table table({"Utilization", "Scheme", "Carbon saving %",
+                     "Water saving %"});
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& b = rows[i].base;
+    auto add = [&](const char* label, const dc::CampaignResult& r) {
+      table.add_row({levels[i].first, label,
+                     util::Table::fixed(r.carbon_saving_pct_vs(b), 2),
+                     util::Table::fixed(r.water_saving_pct_vs(b), 2)});
+    };
+    add("Carbon-Greedy-Opt", rows[i].carbon);
+    add("Water-Greedy-Opt", rows[i].water);
+    add("WaterWise", rows[i].ww);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check vs. paper: WaterWise stays close to the oracles at\n"
+               "every utilization level (paper: within 13.31%/7.04% at 5%).\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 8: configurability — sweeping the carbon/water objective weights
+// (lambda_CO2 in {0.3, 0.5, 0.7}) at 50% delay tolerance.
+#include "common.hpp"
+
+int main() {
+  using namespace ww;
+  bench::banner("Figure 8: objective-weight sweep", "Sec. 6, Fig. 8");
+
+  const auto jobs =
+      trace::generate_trace(trace::borg_config(7, bench::campaign_days()));
+  const std::vector<double> lambdas = {0.3, 0.5, 0.7};
+
+  bench::CampaignSpec spec;
+  spec.tol = 0.5;
+  dc::CampaignResult base;
+  std::vector<dc::CampaignResult> results(lambdas.size());
+  util::ThreadPool pool;
+  pool.parallel_for(lambdas.size() + 1, [&](std::size_t k) {
+    if (k == lambdas.size()) {
+      base = bench::run_policy(jobs, bench::Policy::Baseline, spec);
+      return;
+    }
+    core::WaterWiseConfig cfg;
+    cfg.lambda_co2 = lambdas[k];
+    cfg.lambda_h2o = 1.0 - lambdas[k];
+    results[k] = bench::run_policy(jobs, bench::Policy::WaterWise, spec, cfg);
+  });
+
+  util::Table table({"lambda_CO2", "lambda_H2O", "Carbon saving %",
+                     "Water saving %"});
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    table.add_row({util::Table::fixed(lambdas[i], 1),
+                   util::Table::fixed(1.0 - lambdas[i], 1),
+                   util::Table::fixed(results[i].carbon_saving_pct_vs(base), 2),
+                   util::Table::fixed(results[i].water_saving_pct_vs(base), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check vs. paper: higher lambda_CO2 tilts savings toward\n"
+               "carbon (paper: 25.18%/21.1% at 0.3 -> 31.1%/13.6% at 0.7); both\n"
+               "metrics stay positive at every setting.\n";
+  return 0;
+}

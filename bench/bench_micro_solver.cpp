@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark): MILP solve latency at WaterWise batch
+// sizes, capacity-timeline operations, and footprint evaluation — the hot
+// paths behind the Fig. 13 overhead numbers.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common.hpp"
+#include "dc/capacity_timeline.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ww;
+
+/// Builds a WaterWise-shaped MILP: jobs x regions assignment binaries,
+/// capacity rows, delay rows.
+milp::Model waterwise_shaped_model(int jobs, int regions, util::Rng& rng) {
+  milp::Model m;
+  std::vector<int> x(static_cast<std::size_t>(jobs * regions));
+  for (int j = 0; j < jobs; ++j)
+    for (int r = 0; r < regions; ++r)
+      x[static_cast<std::size_t>(j * regions + r)] =
+          m.add_binary("x", rng.uniform(0.1, 2.0));
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<milp::Term> t;
+    for (int r = 0; r < regions; ++r)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
+    (void)m.add_constraint("a", std::move(t), milp::Sense::Equal, 1.0);
+  }
+  for (int r = 0; r < regions; ++r) {
+    std::vector<milp::Term> t;
+    for (int j = 0; j < jobs; ++j)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
+    (void)m.add_constraint("c", std::move(t), milp::Sense::LessEqual,
+                           std::ceil(jobs / static_cast<double>(regions)) + 1.0);
+  }
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<milp::Term> t;
+    for (int r = 1; r < regions; ++r)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)],
+                   rng.uniform(1.0, 20.0)});
+    (void)m.add_constraint("d", std::move(t), milp::Sense::LessEqual, 25.0);
+  }
+  return m;
+}
+
+void BM_MilpSolveBatch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  util::Rng rng(42);
+  const milp::Model model = waterwise_shaped_model(jobs, 5, rng);
+  for (auto _ : state) {
+    const milp::Solution sol = milp::solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+    if (!sol.usable()) state.SkipWithError("solver failed");
+  }
+  state.SetLabel(std::to_string(jobs) + " jobs x 5 regions");
+}
+BENCHMARK(BM_MilpSolveBatch)->Arg(8)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CapacityTimelineReserve(benchmark::State& state) {
+  for (auto _ : state) {
+    dc::CapacityTimeline tl(64);
+    double t = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      tl.reserve(t, t + 100.0);
+      t += 5.0;
+      if (i % 64 == 0) tl.prune(t - 200.0);
+    }
+    benchmark::DoNotOptimize(tl.occupancy_at(t));
+  }
+}
+BENCHMARK(BM_CapacityTimelineReserve)->Unit(benchmark::kMicrosecond);
+
+void BM_FootprintIntegration(benchmark::State& state) {
+  const env::Environment env = env::Environment::builtin();
+  const footprint::FootprintModel fp(env);
+  double t = 0.0;
+  for (auto _ : state) {
+    const footprint::Breakdown b = fp.job_integrated(2, t, 4000.0, 0.3);
+    benchmark::DoNotOptimize(b.carbon_g());
+    t += 977.0;
+  }
+}
+BENCHMARK(BM_FootprintIntegration)->Unit(benchmark::kMicrosecond);
+
+void BM_EnvironmentQuery(benchmark::State& state) {
+  const env::Environment env = env::Environment::builtin();
+  double t = 0.0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += env.water_intensity(static_cast<int>(t) % 5, t);
+    t += 313.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_EnvironmentQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

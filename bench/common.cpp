@@ -1,0 +1,75 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ww::bench {
+
+double scale() {
+  if (const char* s = std::getenv("WW_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return std::clamp(v, 0.02, 20.0);
+  }
+  return 1.0;
+}
+
+double campaign_days() { return 1.0 * scale(); }
+
+void banner(const std::string& experiment, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << "WaterWise reproduction | " << experiment << "\n"
+            << "Paper reference: " << paper_ref << "\n"
+            << "Campaign: " << campaign_days()
+            << " simulated day(s) of Borg-rate arrivals (WW_BENCH_SCALE="
+            << scale() << ")\n"
+            << "==============================================================\n";
+}
+
+dc::CampaignResult run_campaign(const std::vector<trace::Job>& jobs,
+                                dc::Scheduler& scheduler,
+                                const CampaignSpec& spec) {
+  const env::Environment env = env::Environment::builtin(spec.env_config);
+  const footprint::FootprintModel fp(env, footprint::ServerSpec{},
+                                     spec.embodied_scale);
+  dc::SimConfig sim = spec.sim;
+  sim.tol = spec.tol;
+  sim.capacity_scale = spec.capacity_scale;
+  dc::Simulator simulator(env, fp, sim);
+  return simulator.run(jobs, scheduler);
+}
+
+std::unique_ptr<dc::Scheduler> make_scheduler(
+    Policy policy, const core::WaterWiseConfig& ww_config) {
+  switch (policy) {
+    case Policy::Baseline:
+      return std::make_unique<sched::BaselineScheduler>();
+    case Policy::RoundRobin:
+      return std::make_unique<sched::RoundRobinScheduler>();
+    case Policy::LeastLoad:
+      return std::make_unique<sched::LeastLoadScheduler>();
+    case Policy::Ecovisor:
+      return std::make_unique<sched::EcovisorScheduler>();
+    case Policy::CarbonGreedyOpt:
+      return std::make_unique<sched::GreedyOptScheduler>(
+          sched::GreedyMetric::Carbon);
+    case Policy::WaterGreedyOpt:
+      return std::make_unique<sched::GreedyOptScheduler>(
+          sched::GreedyMetric::Water);
+    case Policy::WaterWise:
+      return std::make_unique<core::WaterWiseScheduler>(ww_config);
+  }
+  return nullptr;
+}
+
+std::string policy_name(Policy policy) {
+  return make_scheduler(policy)->name();
+}
+
+dc::CampaignResult run_policy(const std::vector<trace::Job>& jobs,
+                              Policy policy, const CampaignSpec& spec,
+                              const core::WaterWiseConfig& ww_config) {
+  const auto scheduler = make_scheduler(policy, ww_config);
+  return run_campaign(jobs, *scheduler, spec);
+}
+
+}  // namespace ww::bench

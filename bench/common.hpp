@@ -1,0 +1,71 @@
+// Shared harness for the per-figure/table benchmark binaries.
+//
+// Every bench prints a paper-style table on stdout.  Campaign length is
+// scaled by the WW_BENCH_SCALE environment variable (default 1.0 => 1
+// simulated day, ~23k Borg jobs; WW_BENCH_SCALE=10 reproduces the paper's
+// full 10-day window).  Independent configurations fan out across a thread
+// pool; results are deterministic regardless of parallelism.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/waterwise.hpp"
+#include "dc/simulator.hpp"
+#include "sched/basic.hpp"
+#include "sched/ecovisor.hpp"
+#include "sched/greedy_opt.hpp"
+#include "trace/generator.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ww::bench {
+
+/// WW_BENCH_SCALE environment knob (clamped to [0.02, 20]).
+[[nodiscard]] double scale();
+
+/// Simulated days for the default campaign: 1.0 * scale().
+[[nodiscard]] double campaign_days();
+
+/// Prints the standard bench banner (figure/table id + provenance).
+void banner(const std::string& experiment, const std::string& paper_ref);
+
+struct CampaignSpec {
+  double tol = 0.5;
+  double capacity_scale = 1.0;
+  env::EnvironmentConfig env_config;
+  double embodied_scale = 1.0;
+  dc::SimConfig sim;  ///< tol/capacity_scale fields are overwritten.
+};
+
+/// Runs one scheduler over one trace under one spec.  Builds a private
+/// Environment/FootprintModel so specs can perturb them independently
+/// (thread-safe fan-out).
+[[nodiscard]] dc::CampaignResult run_campaign(
+    const std::vector<trace::Job>& jobs, dc::Scheduler& scheduler,
+    const CampaignSpec& spec);
+
+/// Named scheduler factory used by the comparison benches.
+enum class Policy {
+  Baseline,
+  RoundRobin,
+  LeastLoad,
+  Ecovisor,
+  CarbonGreedyOpt,
+  WaterGreedyOpt,
+  WaterWise,
+};
+
+[[nodiscard]] std::unique_ptr<dc::Scheduler> make_scheduler(
+    Policy policy, const core::WaterWiseConfig& ww_config = {});
+
+[[nodiscard]] std::string policy_name(Policy policy);
+
+/// Convenience: run (policy, spec) on `jobs` — constructs the scheduler too.
+[[nodiscard]] dc::CampaignResult run_policy(
+    const std::vector<trace::Job>& jobs, Policy policy,
+    const CampaignSpec& spec, const core::WaterWiseConfig& ww_config = {});
+
+}  // namespace ww::bench

@@ -1,0 +1,79 @@
+// Scenario: a nightly ML-training campaign with long, energy-hungry jobs.
+//
+// The paper's introduction motivates WaterWise with ML training workloads
+// whose water footprint is large [32].  This example builds a custom trace of
+// heavy GraphAnalytics/MemoryAnalytics-class jobs submitted from two home
+// regions overnight, then sweeps the delay tolerance to show how much carbon
+// and water a provider can save by letting batch training tolerate delay —
+// the Fig. 3(a)/Fig. 5 story on a concrete workload.
+#include <iostream>
+
+#include "core/waterwise.hpp"
+#include "dc/simulator.hpp"
+#include "sched/basic.hpp"
+#include "trace/benchmark_profile.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Overnight batch of heavyweight jobs from Oregon and Mumbai.
+std::vector<ww::trace::Job> training_trace(std::uint64_t seed) {
+  using namespace ww;
+  util::Rng rng(seed);
+  std::vector<trace::Job> jobs;
+  const int heavy[] = {6, 8};  // GraphAnalytics, MemoryAnalytics
+  std::uint64_t id = 0;
+  // 400 jobs submitted between 22:00 and 04:00, bursty.
+  double t = 22.0 * 3600.0;
+  while (jobs.size() < 400) {
+    t += rng.exponential(1.0 / 55.0);  // ~one job per minute
+    trace::Job j;
+    j.id = id++;
+    j.submit_time = t;
+    j.home_region = rng.bernoulli(0.5) ? 2 : 4;  // Oregon or Mumbai
+    trace::sample_instance(heavy[rng.uniform_int(0, 1)], rng, j);
+    j.exec_seconds *= 6.0;  // training epochs run far longer than the profile
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ww;
+  const env::Environment env = env::Environment::builtin();
+  const footprint::FootprintModel footprint(env);
+  const auto jobs = training_trace(2025);
+
+  double total_hours = 0.0;
+  for (const auto& j : jobs) total_hours += j.exec_seconds / 3600.0;
+  std::cout << "Nightly ML-training campaign: " << jobs.size()
+            << " jobs, " << util::Table::fixed(total_hours, 0)
+            << " server-hours, homes = Oregon/Mumbai\n\n";
+
+  util::Table table({"Delay tolerance", "Carbon saving %", "Water saving %",
+                     "Mean service norm", "Violations %"});
+  for (const double tol : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    dc::SimConfig cfg;
+    cfg.tol = tol;
+    dc::Simulator sim(env, footprint, cfg);
+    sched::BaselineScheduler baseline;
+    core::WaterWiseScheduler ww;
+    const auto base = sim.run(jobs, baseline);
+    const auto res = sim.run(jobs, ww);
+    table.add_row({util::Table::fixed(tol * 100.0, 0) + "%",
+                   util::Table::fixed(res.carbon_saving_pct_vs(base), 2),
+                   util::Table::fixed(res.water_saving_pct_vs(base), 2),
+                   util::Table::fixed(res.mean_service_norm(), 3) + "x",
+                   util::Table::fixed(res.violation_pct(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway: batch training tolerates delay by nature; even a\n"
+               "25% allowance lets the scheduler route epochs through cleaner,\n"
+               "less water-stressed grids at night.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ww::core {
+
+HistoryLearner::HistoryLearner(int num_regions, int window)
+    : num_regions_(num_regions), window_(window) {
+  if (num_regions <= 0 || window <= 0)
+    throw std::invalid_argument("HistoryLearner: bad dimensions");
+}
+
+namespace {
+std::vector<double> normalized(const std::vector<double>& v) {
+  const double mx = *std::max_element(v.begin(), v.end());
+  std::vector<double> out(v.size(), 0.0);
+  if (mx > 0.0)
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] / mx;
+  return out;
+}
+}  // namespace
+
+void HistoryLearner::observe(const std::vector<double>& carbon_intensity,
+                             const std::vector<double>& water_intensity) {
+  if (static_cast<int>(carbon_intensity.size()) != num_regions_ ||
+      static_cast<int>(water_intensity.size()) != num_regions_)
+    throw std::invalid_argument("HistoryLearner: observation size mismatch");
+  carbon_.push_back(normalized(carbon_intensity));
+  water_.push_back(normalized(water_intensity));
+  while (static_cast<int>(carbon_.size()) > window_) carbon_.pop_front();
+  while (static_cast<int>(water_.size()) > window_) water_.pop_front();
+}
+
+double HistoryLearner::carbon_ref(int region) const {
+  if (carbon_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& obs : carbon_)
+    total += obs[static_cast<std::size_t>(region)];
+  return total / static_cast<double>(carbon_.size());
+}
+
+double HistoryLearner::water_ref(int region) const {
+  if (water_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& obs : water_)
+    total += obs[static_cast<std::size_t>(region)];
+  return total / static_cast<double>(water_.size());
+}
+
+}  // namespace ww::core

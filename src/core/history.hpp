@@ -1,0 +1,41 @@
+// History learner (Eq. 8's CO2_ref / H2O_ref terms).
+//
+// WaterWise biases the objective with the recent normalized carbon and water
+// footprint of every region over a sliding window (default 10 observations,
+// weight lambda_ref = 0.1), nudging placements away from regions that have
+// been persistently expensive and damping oscillation between regions.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+namespace ww::core {
+
+class HistoryLearner {
+ public:
+  HistoryLearner(int num_regions, int window);
+
+  /// Records one batch observation: per-region carbon and water intensity,
+  /// normalized internally by the batch max so values are comparable across
+  /// time (each entry lands in [0, 1]).
+  void observe(const std::vector<double>& carbon_intensity,
+               const std::vector<double>& water_intensity);
+
+  /// Window-mean normalized carbon footprint of region r (0 before any
+  /// observation).
+  [[nodiscard]] double carbon_ref(int region) const;
+  [[nodiscard]] double water_ref(int region) const;
+
+  [[nodiscard]] int window() const noexcept { return window_; }
+  [[nodiscard]] int observations() const noexcept {
+    return static_cast<int>(carbon_.size());
+  }
+
+ private:
+  int num_regions_;
+  int window_;
+  std::deque<std::vector<double>> carbon_;
+  std::deque<std::vector<double>> water_;
+};
+
+}  // namespace ww::core

@@ -1,0 +1,31 @@
+// Job slack management (Eq. 14 and Algorithm 1, line 6).
+//
+// The MILP is stateless across batches; the slack manager is WaterWise's
+// memory of how close each waiting job is to violating its delay tolerance.
+// When pending jobs exceed total free capacity, the top-capacity most-urgent
+// jobs (smallest urgency score) enter the solver and the rest carry over to
+// the next batch.
+//
+//   Urgency = TOL% * t_m  -  L_avg_m  -  (T_current - T_start_m)
+//
+// i.e. remaining slack = allowance minus mean transfer cost minus time
+// already spent waiting; smaller = more urgent.
+#pragma once
+
+#include <vector>
+
+#include "dc/scheduler.hpp"
+
+namespace ww::core {
+
+/// Urgency score of one pending job at time `now` (Eq. 14).
+[[nodiscard]] double urgency_score(const dc::PendingJob& job,
+                                   const dc::ScheduleContext& ctx);
+
+/// Indices into `batch` of the (at most) `limit` most-urgent jobs, ordered
+/// most-urgent first.
+[[nodiscard]] std::vector<std::size_t> select_most_urgent(
+    const std::vector<dc::PendingJob>& batch, const dc::ScheduleContext& ctx,
+    std::size_t limit);
+
+}  // namespace ww::core

@@ -1,0 +1,293 @@
+#include "core/waterwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/slack.hpp"
+
+namespace ww::core {
+
+WaterWiseScheduler::WaterWiseScheduler(WaterWiseConfig config)
+    : config_(config) {
+  if (config_.lambda_co2 < 0.0 || config_.lambda_h2o < 0.0)
+    throw std::invalid_argument("WaterWise: lambda weights must be >= 0");
+  const double sum = config_.lambda_co2 + config_.lambda_h2o;
+  if (sum <= 0.0)
+    throw std::invalid_argument("WaterWise: lambda weights must sum > 0");
+  // The paper requires the weights to sum to one; normalize defensively.
+  config_.lambda_co2 /= sum;
+  config_.lambda_h2o /= sum;
+}
+
+milp::Solution WaterWiseScheduler::run_model(
+    const std::vector<const dc::PendingJob*>& chunk,
+    const std::vector<int>& caps, const dc::ScheduleContext& ctx, bool soft,
+    int* out_num_assign_vars) {
+  const int m = static_cast<int>(chunk.size());
+  const int n = static_cast<int>(caps.size());
+  milp::Model model;
+
+  // x_mn assignment binaries, laid out row-major (job-major).
+  std::vector<int> x(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+  for (int j = 0; j < m; ++j)
+    for (int r = 0; r < n; ++r)
+      x[static_cast<std::size_t>(j * n + r)] =
+          model.add_binary("x_" + std::to_string(j) + "_" + std::to_string(r));
+  *out_num_assign_vars = m * n;
+
+  // Objective: Eq. 8 normalized footprint costs + history reference terms.
+  for (int j = 0; j < m; ++j) {
+    const dc::PendingJob& p = *chunk[static_cast<std::size_t>(j)];
+    std::vector<double> co2(static_cast<std::size_t>(n));
+    std::vector<double> h2o(static_cast<std::size_t>(n));
+    std::vector<double> usd(static_cast<std::size_t>(n));
+    std::vector<double> perf(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      // Decision-time estimates: current intensities, estimated E and t.
+      const footprint::Breakdown fb = ctx.footprint->job_at(
+          r, ctx.now, p.est_energy_kwh, p.est_exec_s);
+      const footprint::Breakdown tb = ctx.footprint->transfer(
+          p.job->home_region, r, p.job->package_bytes, ctx.now);
+      co2[static_cast<std::size_t>(r)] = fb.carbon_g() + tb.carbon_g();
+      h2o[static_cast<std::size_t>(r)] = fb.water_l() + tb.water_l();
+      usd[static_cast<std::size_t>(r)] = ctx.env->pue(r) * p.est_energy_kwh *
+                                         ctx.env->electricity_price(r, ctx.now);
+      perf[static_cast<std::size_t>(r)] =
+          ctx.env->transfer_latency_seconds(p.job->home_region, r,
+                                            p.job->package_bytes) /
+          std::max(1.0, p.est_exec_s);
+    }
+    const double co2_max =
+        std::max(1e-12, *std::max_element(co2.begin(), co2.end()));
+    const double h2o_max =
+        std::max(1e-12, *std::max_element(h2o.begin(), h2o.end()));
+    const double usd_max =
+        std::max(1e-12, *std::max_element(usd.begin(), usd.end()));
+    const double perf_max =
+        std::max(1e-12, *std::max_element(perf.begin(), perf.end()));
+    for (int r = 0; r < n; ++r) {
+      double cost = config_.lambda_co2 * co2[static_cast<std::size_t>(r)] / co2_max +
+                    config_.lambda_h2o * h2o[static_cast<std::size_t>(r)] / h2o_max;
+      if (config_.lambda_cost > 0.0)
+        cost += config_.lambda_cost * usd[static_cast<std::size_t>(r)] / usd_max;
+      if (config_.lambda_perf > 0.0)
+        cost += config_.lambda_perf * perf[static_cast<std::size_t>(r)] / perf_max;
+      if (config_.enable_history) {
+        cost += config_.lambda_ref *
+                (config_.lambda_co2 * history_->carbon_ref(r) +
+                 config_.lambda_h2o * history_->water_ref(r));
+      }
+      // Deterministic symmetry-breaking epsilon: jobs of the same benchmark
+      // share identical estimates, which otherwise makes the branch-and-
+      // bound tree explore exponentially many equivalent assignments.
+      cost += 1e-9 * static_cast<double>(j * n + r);
+      model.set_objective_coefficient(x[static_cast<std::size_t>(j * n + r)],
+                                      cost);
+    }
+  }
+
+  // Eq. 9: each job placed exactly once.
+  for (int j = 0; j < m; ++j) {
+    std::vector<milp::Term> terms;
+    terms.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      terms.push_back({x[static_cast<std::size_t>(j * n + r)], 1.0});
+    model.add_constraint("assign_" + std::to_string(j), std::move(terms),
+                         milp::Sense::Equal, 1.0);
+  }
+
+  // Eq. 10: region capacity.
+  for (int r = 0; r < n; ++r) {
+    std::vector<milp::Term> terms;
+    terms.reserve(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j)
+      terms.push_back({x[static_cast<std::size_t>(j * n + r)], 1.0});
+    model.add_constraint("cap_" + std::to_string(r), std::move(terms),
+                         milp::Sense::LessEqual,
+                         static_cast<double>(caps[static_cast<std::size_t>(r)]));
+  }
+
+  // Eq. 11 (hard) / Eq. 12-13 (soft): delay tolerance.  The remaining
+  // allowance discounts time already spent waiting in the controller.
+  //
+  // The hard model states Eq. 11 verbatim: one row per job over the summed
+  // transfer latency.  The soft model uses the paper's per-(job, region)
+  // penalty variables P_mn; because exactly one x_mn is 1, the two forms
+  // agree at integral points, but the per-pair form keeps the LP relaxation
+  // near-integral (a per-job penalty would let fractional solutions absorb
+  // the allowance "for free", opening a large LP/MIP gap that forces
+  // branch-and-bound to enumerate job subsets).
+  for (int j = 0; j < m; ++j) {
+    const dc::PendingJob& p = *chunk[static_cast<std::size_t>(j)];
+    const double waited = ctx.now - p.first_seen;
+    const double allowance = std::max(
+        0.0,
+        ctx.tol * config_.delay_estimate_margin * p.est_exec_s - waited);
+    const double penalty_rate =
+        config_.sigma / std::max(1.0, ctx.tol * p.est_exec_s);
+    if (soft) {
+      // P_mn >= (L_mn - allowance_m) * x_mn: the exceedance this placement
+      // would cause, proportional to x so the relaxation has no penalty-free
+      // fractional region and LP vertices stay integral.
+      for (int r = 0; r < n; ++r) {
+        const double latency = ctx.env->transfer_latency_seconds(
+            p.job->home_region, r, p.job->package_bytes);
+        const double exceedance = latency - allowance;
+        if (exceedance <= 0.0) continue;  // placement cannot violate
+        const int pmn = model.add_continuous(
+            "P_" + std::to_string(j) + "_" + std::to_string(r), 0.0,
+            milp::kInfinity, penalty_rate);
+        model.add_constraint(
+            "delay_" + std::to_string(j) + "_" + std::to_string(r),
+            {{x[static_cast<std::size_t>(j * n + r)], exceedance}, {pmn, -1.0}},
+            milp::Sense::LessEqual, 0.0);
+      }
+      continue;
+    }
+    // Hard Eq. 11: since exactly one x_mn is 1, the summed-latency row is
+    // equivalent to forbidding every region whose transfer latency exceeds
+    // the allowance.  Expressing it as bound fixing (x_mn = 0) keeps the
+    // LP relaxation a pure transportation polytope — integral vertices,
+    // instant infeasibility detection — where an explicit row would admit
+    // fractional "free allowance" points and force branching.
+    for (int r = 0; r < n; ++r) {
+      const double latency = ctx.env->transfer_latency_seconds(
+          p.job->home_region, r, p.job->package_bytes);
+      if (latency > allowance)
+        model.set_variable_bounds(x[static_cast<std::size_t>(j * n + r)], 0.0,
+                                  0.0);
+    }
+  }
+
+  ++milp_solves_;
+  milp::SolverOptions options = config_.solver;
+  if (!soft) {
+    // The hard model is a feasibility probe: when its LP relaxation is
+    // fractionally feasible but no integral point exists (capacity overflow
+    // against tight delay rows), branch-and-bound would have to enumerate
+    // the tree to prove infeasibility.  Cap the probe's effort — an
+    // inconclusive probe falls through to the soft model (Algorithm 1,
+    // lines 10-11) exactly like a proven-infeasible one.
+    // A conservative (false-negative) probe is harmless: softening is
+    // always valid, so the probe gets a small budget.
+    options.max_nodes = std::min<long>(options.max_nodes, 200);
+    options.time_limit_seconds = std::min(options.time_limit_seconds, 0.5);
+  }
+  return milp::solve(model, options);
+}
+
+void WaterWiseScheduler::solve_chunk(
+    const std::vector<const dc::PendingJob*>& chunk, std::vector<int>& caps,
+    const dc::ScheduleContext& ctx, std::vector<dc::Decision>& decisions) {
+  const int n = static_cast<int>(caps.size());
+  int num_x = 0;
+
+  milp::Solution sol;
+  bool used_soft = false;
+  if (config_.enable_soft_constraints) {
+    sol = run_model(chunk, caps, ctx, /*soft=*/false, &num_x);
+    if (!sol.usable()) {
+      // Algorithm 1, lines 10-11: soften and retry.
+      ++soft_fallbacks_;
+      used_soft = true;
+      sol = run_model(chunk, caps, ctx, /*soft=*/true, &num_x);
+    }
+  } else {
+    sol = run_model(chunk, caps, ctx, /*soft=*/false, &num_x);
+  }
+  (void)used_soft;
+  if (!sol.usable()) {
+    if (!config_.enable_soft_constraints) {
+      // Degraded (ablation) mode: with softening disabled, an infeasible
+      // hard model would otherwise defer the whole chunk forever while the
+      // backlog grows.  Fall back to home placement for whatever fits —
+      // the violations this causes are the ablation's measurement.
+      for (const dc::PendingJob* p : chunk) {
+        auto& home_cap = caps[static_cast<std::size_t>(p->job->home_region)];
+        if (home_cap <= 0) continue;
+        --home_cap;
+        decisions.push_back(
+            dc::Decision{p->job->id, p->job->home_region, ctx.now, 1.0});
+      }
+    }
+    return;  // otherwise defer the chunk to the next batch
+  }
+
+  for (int j = 0; j < static_cast<int>(chunk.size()); ++j) {
+    const dc::PendingJob& p = *chunk[static_cast<std::size_t>(j)];
+    int chosen = -1;
+    for (int r = 0; r < n; ++r) {
+      if (sol.values[static_cast<std::size_t>(j * n + r)] > 0.5) {
+        chosen = r;
+        break;
+      }
+    }
+    if (chosen < 0) continue;
+    if (caps[static_cast<std::size_t>(chosen)] <= 0) continue;
+    --caps[static_cast<std::size_t>(chosen)];
+    const double start = ctx.now + ctx.env->transfer_latency_seconds(
+                                       p.job->home_region, chosen,
+                                       p.job->package_bytes);
+    decisions.push_back(dc::Decision{p.job->id, chosen, start, 1.0});
+  }
+}
+
+std::vector<dc::Decision> WaterWiseScheduler::schedule(
+    const std::vector<dc::PendingJob>& batch, const dc::ScheduleContext& ctx) {
+  const int n = ctx.capacity->num_regions();
+  if (!history_ || history_->observations() == 0) {
+    // Lazily size the learner to the environment.
+    if (!history_)
+      history_ = std::make_unique<HistoryLearner>(n, config_.history_window);
+  }
+
+  // Feed the history learner the current intensity landscape.
+  {
+    std::vector<double> ci(static_cast<std::size_t>(n));
+    std::vector<double> wi(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      ci[static_cast<std::size_t>(r)] = ctx.env->carbon_intensity(r, ctx.now);
+      wi[static_cast<std::size_t>(r)] = ctx.env->water_intensity(r, ctx.now);
+    }
+    history_->observe(ci, wi);
+  }
+
+  std::vector<int> caps(static_cast<std::size_t>(n));
+  int total_cap = 0;
+  for (int r = 0; r < n; ++r) {
+    caps[static_cast<std::size_t>(r)] = ctx.capacity->free_at(r, ctx.now);
+    total_cap += caps[static_cast<std::size_t>(r)];
+  }
+  if (total_cap <= 0 || batch.empty()) return {};
+
+  // Algorithm 1: oversubscription goes through the slack manager.
+  std::vector<const dc::PendingJob*> selected;
+  if (static_cast<int>(batch.size()) > total_cap && config_.enable_slack_manager) {
+    const auto order = select_most_urgent(
+        batch, ctx, static_cast<std::size_t>(total_cap));
+    selected.reserve(order.size());
+    for (const std::size_t i : order) selected.push_back(&batch[i]);
+  } else {
+    selected.reserve(batch.size());
+    for (const auto& p : batch) selected.push_back(&p);
+    if (static_cast<int>(selected.size()) > total_cap)
+      selected.resize(static_cast<std::size_t>(total_cap));
+  }
+
+  std::vector<dc::Decision> decisions;
+  decisions.reserve(selected.size());
+  for (std::size_t offset = 0; offset < selected.size();
+       offset += static_cast<std::size_t>(config_.max_jobs_per_solve)) {
+    const std::size_t end = std::min(
+        selected.size(),
+        offset + static_cast<std::size_t>(config_.max_jobs_per_solve));
+    const std::vector<const dc::PendingJob*> chunk(
+        selected.begin() + static_cast<std::ptrdiff_t>(offset),
+        selected.begin() + static_cast<std::ptrdiff_t>(end));
+    solve_chunk(chunk, caps, ctx, decisions);
+  }
+  return decisions;
+}
+
+}  // namespace ww::core

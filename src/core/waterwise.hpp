@@ -1,0 +1,98 @@
+// WaterWise: the carbon- and water-footprint co-optimizing scheduler
+// (the paper's primary contribution, Sec. 4).
+//
+// Every batch window, the Decision Controller builds the MILP of Eq. 8-11
+// over all pending jobs and the current (not future) carbon/water intensity
+// of every region:
+//
+//   min sum_mn x_mn [ l_CO2 * CO2(m,n)/CO2max_m + l_H2O * H2O(m,n)/H2Omax_m
+//                     + l_ref (l_CO2 * CO2ref_n + l_H2O * H2Oref_n) ]
+//   s.t.  sum_n x_mn = 1          (every selected job placed once, Eq. 9)
+//         sum_m x_mn <= cap(n)    (region capacity, Eq. 10)
+//         sum_n x_mn L_mn <= max(0, TOL * t_m - waited_m)   (Eq. 11)
+//
+// Algorithm 1 wraps the solver: when pending jobs exceed total capacity the
+// slack manager (Eq. 14) picks the most-urgent subset and the relaxed model
+// runs; when the hard model is infeasible the delay constraint is softened
+// with penalty variables P_m entering the objective at weight sigma
+// (Eq. 12-13).  Estimates of execution time and energy come from the online
+// means the simulator learns — the controller never sees true per-job values.
+#pragma once
+
+#include <memory>
+
+#include "core/history.hpp"
+#include "dc/scheduler.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace ww::core {
+
+struct WaterWiseConfig {
+  double lambda_co2 = 0.5;   ///< Carbon objective weight (Fig. 8 sweeps it).
+  double lambda_h2o = 0.5;   ///< Water objective weight.
+  double lambda_ref = 0.1;   ///< History-learner weight (paper default).
+  int history_window = 10;   ///< History-learner window (paper default).
+  /// Sec. 7 extensions (default off = exact paper objective):
+  /// additional additive objective terms for electricity cost and
+  /// performance (normalized transfer-induced service-time stretch).
+  double lambda_cost = 0.0;
+  double lambda_perf = 0.0;
+  double sigma = 10.0;       ///< Soft-constraint penalty weight (Eq. 12).
+  /// Safety factor on the estimated execution time inside the delay rows
+  /// (Eq. 11): the controller only knows *mean* estimates, so it reserves
+  /// headroom against jobs that run shorter than their estimate.  1.0
+  /// trusts the estimate fully (more remote moves, more violations).
+  double delay_estimate_margin = 0.8;
+  bool enable_soft_constraints = true;  ///< Ablation knob.
+  bool enable_slack_manager = true;     ///< Ablation knob.
+  bool enable_history = true;           ///< Ablation knob.
+  int max_jobs_per_solve = 400;  ///< Chunk very large batches for the solver.
+  milp::SolverOptions solver = [] {
+    milp::SolverOptions o;
+    // Scheduling batches must decide quickly; a best-incumbent answer at
+    // the limit is still a valid (near-optimal) placement, and placements
+    // within 0.01% of each other are operationally identical.
+    o.time_limit_seconds = 10.0;
+    o.mip_gap_rel = 1e-4;
+    return o;
+  }();
+};
+
+class WaterWiseScheduler final : public dc::Scheduler {
+ public:
+  explicit WaterWiseScheduler(WaterWiseConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "WaterWise"; }
+
+  [[nodiscard]] std::vector<dc::Decision> schedule(
+      const std::vector<dc::PendingJob>& batch,
+      const dc::ScheduleContext& ctx) override;
+
+  [[nodiscard]] const WaterWiseConfig& config() const noexcept {
+    return config_;
+  }
+  /// Batches where the hard model failed and the soft model ran (Alg. 1
+  /// lines 10-11); diagnostic for tests and the ablation bench.
+  [[nodiscard]] long soft_fallbacks() const noexcept { return soft_fallbacks_; }
+  [[nodiscard]] long milp_solves() const noexcept { return milp_solves_; }
+
+ private:
+  /// Solves one chunk of at most max_jobs_per_solve jobs against the
+  /// remaining capacity; appends decisions and decrements `caps`.
+  void solve_chunk(const std::vector<const dc::PendingJob*>& chunk,
+                   std::vector<int>& caps, const dc::ScheduleContext& ctx,
+                   std::vector<dc::Decision>& decisions);
+
+  /// Builds and solves Eq. 8-13 for the chunk; `soft` enables penalties.
+  [[nodiscard]] milp::Solution run_model(
+      const std::vector<const dc::PendingJob*>& chunk,
+      const std::vector<int>& caps, const dc::ScheduleContext& ctx, bool soft,
+      int* out_num_assign_vars);
+
+  WaterWiseConfig config_;
+  std::unique_ptr<HistoryLearner> history_;
+  long soft_fallbacks_ = 0;
+  long milp_solves_ = 0;
+};
+
+}  // namespace ww::core

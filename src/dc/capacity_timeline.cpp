@@ -1,0 +1,50 @@
+#include "dc/capacity_timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ww::dc {
+
+CapacityTimeline::CapacityTimeline(int capacity) : capacity_(capacity) {
+  if (capacity <= 0)
+    throw std::invalid_argument("CapacityTimeline: capacity must be positive");
+}
+
+int CapacityTimeline::occupancy_at(double t) const {
+  int occ = base_;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    occ += delta;
+  }
+  return occ;
+}
+
+int CapacityTimeline::max_occupancy(double start, double end) const {
+  // Occupancy entering the window, then scan events inside it.
+  int occ = base_;
+  auto it = deltas_.begin();
+  for (; it != deltas_.end() && it->first <= start; ++it) occ += it->second;
+  int peak = occ;
+  for (; it != deltas_.end() && it->first < end; ++it) {
+    occ += it->second;
+    peak = std::max(peak, occ);
+  }
+  return peak;
+}
+
+void CapacityTimeline::reserve(double start, double end) {
+  if (!(end > start))
+    throw std::invalid_argument("CapacityTimeline: end must exceed start");
+  deltas_[start] += 1;
+  deltas_[end] -= 1;
+}
+
+void CapacityTimeline::prune(double now) {
+  auto it = deltas_.begin();
+  while (it != deltas_.end() && it->first <= now) {
+    base_ += it->second;
+    it = deltas_.erase(it);
+  }
+}
+
+}  // namespace ww::dc

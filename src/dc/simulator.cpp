@@ -1,0 +1,282 @@
+#include "dc/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "trace/benchmark_profile.hpp"
+#include "util/timer.hpp"
+
+namespace ww::dc {
+
+namespace {
+
+/// CapacityView adapter over the simulator's timelines.
+class TimelineView final : public CapacityView {
+ public:
+  explicit TimelineView(const std::vector<CapacityTimeline>* timelines)
+      : timelines_(timelines) {}
+
+  [[nodiscard]] int num_regions() const override {
+    return static_cast<int>(timelines_->size());
+  }
+  [[nodiscard]] int capacity(int region) const override {
+    return (*timelines_)[static_cast<std::size_t>(region)].capacity();
+  }
+  [[nodiscard]] int free_at(int region, double t) const override {
+    const auto& tl = (*timelines_)[static_cast<std::size_t>(region)];
+    return tl.capacity() - tl.occupancy_at(t);
+  }
+  [[nodiscard]] int max_occupancy(int region, double start,
+                                  double end) const override {
+    return (*timelines_)[static_cast<std::size_t>(region)].max_occupancy(start,
+                                                                         end);
+  }
+
+ private:
+  const std::vector<CapacityTimeline>* timelines_;
+};
+
+/// Online per-benchmark mean estimates of execution time and energy.
+class EstimateDb {
+ public:
+  void observe(const trace::Job& job) {
+    auto& e = entries_[job.benchmark];
+    e.exec.add(job.exec_seconds);
+    e.energy.add(job.energy_kwh());
+  }
+  [[nodiscard]] double est_exec(const trace::Job& job) const {
+    const auto it = entries_.find(job.benchmark);
+    if (it != entries_.end() && it->second.exec.count() >= 3)
+      return it->second.exec.mean();
+    return trace::profile(job.benchmark).mean_exec_s;
+  }
+  [[nodiscard]] double est_energy(const trace::Job& job) const {
+    const auto it = entries_.find(job.benchmark);
+    if (it != entries_.end() && it->second.energy.count() >= 3)
+      return it->second.energy.mean();
+    const auto& p = trace::profile(job.benchmark);
+    return p.mean_power_w * p.mean_exec_s / 3.6e6;
+  }
+
+ private:
+  struct Entry {
+    util::RunningStats exec;
+    util::RunningStats energy;
+  };
+  std::unordered_map<int, Entry> entries_;
+};
+
+struct FinishEvent {
+  double time;
+  std::size_t job_index;
+  bool operator>(const FinishEvent& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+Simulator::Simulator(const env::Environment& env,
+                     const footprint::FootprintModel& footprint,
+                     SimConfig config)
+    : env_(&env), footprint_(&footprint), config_(config) {
+  if (config_.batch_window_s <= 0.0)
+    throw std::invalid_argument("Simulator: batch window must be positive");
+  if (config_.min_batch_interval_s <= 0.0 ||
+      config_.min_batch_interval_s > config_.batch_window_s)
+    throw std::invalid_argument(
+        "Simulator: min batch interval must be in (0, batch_window]");
+  if (config_.tol < 0.0)
+    throw std::invalid_argument("Simulator: delay tolerance must be >= 0");
+}
+
+std::vector<int> Simulator::region_capacities() const {
+  std::vector<int> caps;
+  caps.reserve(static_cast<std::size_t>(env_->num_regions()));
+  for (int r = 0; r < env_->num_regions(); ++r) {
+    const int scaled = static_cast<int>(
+        std::lround(config_.capacity_scale * env_->region(r).servers));
+    caps.push_back(std::max(1, scaled));
+  }
+  return caps;
+}
+
+CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
+                              Scheduler& scheduler) {
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    if (jobs[i].submit_time < jobs[i - 1].submit_time)
+      throw std::invalid_argument("Simulator: trace must be submit-sorted");
+
+  const int num_regions = env_->num_regions();
+  std::vector<CapacityTimeline> timelines;
+  {
+    const std::vector<int> caps = region_capacities();
+    timelines.reserve(caps.size());
+    for (const int c : caps) timelines.emplace_back(c);
+  }
+  const TimelineView view(&timelines);
+
+  CampaignResult result;
+  result.scheduler_name = scheduler.name();
+  result.tol = config_.tol;
+  result.jobs_per_region.assign(static_cast<std::size_t>(num_regions), 0);
+  if (config_.record_jobs) result.jobs.reserve(jobs.size());
+
+  EstimateDb estimates;
+  std::vector<PendingJob> pending;
+  std::unordered_map<std::uint64_t, std::size_t> job_index_by_id;
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>, std::greater<>>
+      finish_heap;
+
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  long stalled_batches = 0;
+  double total_exec = 0.0;
+  for (const auto& j : jobs) total_exec += j.exec_seconds;
+  result.mean_exec_seconds =
+      jobs.empty() ? 0.0 : total_exec / static_cast<double>(jobs.size());
+
+  while (next_arrival < jobs.size() || !pending.empty() ||
+         !finish_heap.empty()) {
+    // Completions up to now: feed the online estimate learner.
+    while (!finish_heap.empty() && finish_heap.top().time <= now) {
+      const std::size_t ji = finish_heap.top().job_index;
+      finish_heap.pop();
+      estimates.observe(jobs[ji]);
+      scheduler.on_job_finished(jobs[ji]);
+    }
+
+    // Absorb arrivals; T_start_m is the tick when the controller first
+    // holds the job.
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].submit_time <= now) {
+      PendingJob p;
+      p.job = &jobs[next_arrival];
+      p.first_seen = now;
+      pending.push_back(p);
+      job_index_by_id[jobs[next_arrival].id] = next_arrival;
+      ++next_arrival;
+    }
+
+    if (!pending.empty()) {
+      for (auto& tl : timelines) tl.prune(now);
+      // Refresh estimates each batch (they improve as jobs finish).
+      for (PendingJob& p : pending) {
+        p.est_exec_s = estimates.est_exec(*p.job);
+        p.est_energy_kwh = estimates.est_energy(*p.job);
+      }
+
+      ScheduleContext ctx;
+      ctx.now = now;
+      ctx.tol = config_.tol;
+      ctx.env = env_;
+      ctx.footprint = footprint_;
+      ctx.capacity = &view;
+
+      const util::Stopwatch watch;
+      const std::vector<Decision> decisions = scheduler.schedule(pending, ctx);
+      const double batch_seconds = watch.elapsed_seconds();
+      result.decision_seconds_total += batch_seconds;
+      result.batch_decision_seconds.add(batch_seconds);
+      result.overhead_series.emplace_back(now / 60.0, batch_seconds);
+
+      std::size_t applied = 0;
+      for (const Decision& d : decisions) {
+        const auto pit =
+            std::find_if(pending.begin(), pending.end(),
+                         [&](const PendingJob& p) { return p.job->id == d.job_id; });
+        if (pit == pending.end()) continue;  // stale/duplicate decision
+        const trace::Job& job = *pit->job;
+        if (d.region < 0 || d.region >= num_regions) continue;
+        if (!(d.power_scale > 0.0) || d.power_scale > 1.0) continue;
+
+        const double transfer_latency = env_->transfer_latency_seconds(
+            job.home_region, d.region, job.package_bytes);
+        const double earliest = now + transfer_latency;
+        if (d.start_time < earliest - 1e-6) continue;  // impossible start
+        const double duration = job.exec_seconds / d.power_scale;
+        const double start = std::max(d.start_time, earliest);
+        const double end = start + duration;
+        auto& tl = timelines[static_cast<std::size_t>(d.region)];
+        if (!tl.fits(start, end)) continue;  // capacity violated: stays pending
+        tl.reserve(start, end);
+
+        // --- ledger ---------------------------------------------------------
+        const double energy = job.energy_kwh();  // power scaling conserves it
+        footprint::Breakdown fb =
+            config_.integrate_footprints
+                ? footprint_->job_integrated(d.region, start, duration, energy)
+                : footprint_->job_at(d.region, start, energy, duration);
+        const footprint::Breakdown tb = footprint_->transfer(
+            job.home_region, d.region, job.package_bytes, now);
+        result.total_carbon_g += fb.carbon_g() + tb.carbon_g();
+        result.total_water_l += fb.water_l() + tb.water_l();
+        result.transfer_carbon_g += tb.carbon_g();
+        result.transfer_water_l += tb.water_l();
+        result.embodied_carbon_g += fb.embodied_carbon_g;
+        result.embodied_water_l += fb.embodied_water_l;
+        result.total_cost_usd += env_->pue(d.region) * energy *
+                                 env_->electricity_price(d.region, start);
+
+        const double service = end - job.submit_time;
+        const double norm = service / job.exec_seconds;
+        result.service_norm.add(norm);
+        const bool violated =
+            service > (1.0 + config_.tol) * job.exec_seconds * (1.0 + 1e-9);
+        if (violated) ++result.violations;
+        ++result.jobs_per_region[static_cast<std::size_t>(d.region)];
+        ++result.num_jobs;
+        result.makespan_seconds = std::max(result.makespan_seconds, end);
+
+        if (config_.record_jobs) {
+          JobOutcome o;
+          o.job_id = job.id;
+          o.home_region = job.home_region;
+          o.exec_region = d.region;
+          o.submit_time = job.submit_time;
+          o.start_time = start;
+          o.finish_time = end;
+          o.exec_seconds = duration;
+          o.carbon_g = fb.carbon_g() + tb.carbon_g();
+          o.water_l = fb.water_l() + tb.water_l();
+          o.violated = violated;
+          result.jobs.push_back(o);
+        }
+
+        finish_heap.push(FinishEvent{end, job_index_by_id.at(job.id)});
+        pending.erase(pit);
+        ++applied;
+      }
+      stalled_batches = applied == 0 ? stalled_batches + 1 : 0;
+      if (stalled_batches > 200000)
+        throw std::runtime_error(
+            "Simulator: scheduler made no progress for 200000 batches");
+    }
+
+    // Advance to the next batch tick: align to the next arrival (so an idle
+    // controller reacts promptly), bounded below by the minimum batch
+    // interval (so bursts batch together) and above by the batch window
+    // (so deferred jobs are retried).
+    double next_tick;
+    if (pending.empty()) {
+      next_tick = std::numeric_limits<double>::infinity();
+      if (next_arrival < jobs.size())
+        next_tick = jobs[next_arrival].submit_time;
+      if (!finish_heap.empty())
+        next_tick = std::min(next_tick, finish_heap.top().time);
+      next_tick = std::max(next_tick, now + config_.min_batch_interval_s);
+    } else {
+      next_tick = now + config_.batch_window_s;
+      if (next_arrival < jobs.size())
+        next_tick = std::min(next_tick, jobs[next_arrival].submit_time);
+      next_tick = std::max(next_tick, now + config_.min_batch_interval_s);
+    }
+    now = next_tick;
+  }
+
+  return result;
+}
+
+}  // namespace ww::dc

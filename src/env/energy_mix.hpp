@@ -1,0 +1,60 @@
+// Per-region energy-mix time series.
+//
+// The paper feeds real-time energy-mix breakdowns from Electricity Maps into
+// the regional EWIF / carbon-intensity estimation.  Offline we synthesize the
+// mix: each region has base generation shares per source (calibrated so the
+// regional carbon-intensity ordering of Fig. 2(a) and the EWIF ordering of
+// Fig. 2(b) hold), modulated over time — solar follows the daylight curve,
+// wind carries AR(1) stochastic swings, hydro follows a seasonal profile —
+// with dispatchable fossil generation absorbing the residual demand.  This
+// produces the temporal carbon/water-intensity variation (and their partial
+// anti-correlation) that Fig. 2(e) shows and the scheduler exploits.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "env/energy_source.hpp"
+#include "util/rng.hpp"
+
+namespace ww::env {
+
+struct MixConfig {
+  /// Base (time-average) generation shares per source; normalized internally.
+  std::array<double, kNumEnergySources> base_share{};
+  double solar_diurnal_swing = 1.0;  ///< 0 = flat, 1 = full daylight shape.
+  double wind_noise = 0.65;          ///< Relative AR(1) swing on wind share.
+  double hydro_seasonal_swing = 0.35;///< Relative spring-melt swing on hydro.
+  double wind_noise_rho = 0.80;      ///< Hourly persistence of wind swings.
+};
+
+/// Deterministic, precomputed hourly generation-share series.
+class EnergyMixModel {
+ public:
+  EnergyMixModel(MixConfig config, util::Rng rng, int horizon_hours);
+
+  /// Generation share of `source` at time t (seconds); shares sum to 1.
+  [[nodiscard]] double share(EnergySource source, double t_seconds) const;
+
+  /// Mix-weighted grid carbon intensity, gCO2/kWh (paper Sec. 2.1).
+  [[nodiscard]] double carbon_intensity(double t_seconds) const;
+
+  /// Mix-weighted regional EWIF, L/kWh (paper Sec. 2.2), per dataset.
+  [[nodiscard]] double ewif(double t_seconds, WaterDataset dataset) const;
+
+  [[nodiscard]] const MixConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::array<double, kNumEnergySources> shares_at(
+      double t_seconds) const;
+
+  MixConfig config_;
+  /// samples_[h][s]: share of source s in hour h.
+  std::vector<std::array<double, kNumEnergySources>> samples_;
+  /// Hourly mix-weighted aggregates (cached for fast queries).
+  std::vector<double> ci_;
+  std::vector<double> ewif_em_;
+  std::vector<double> ewif_wri_;
+};
+
+}  // namespace ww::env

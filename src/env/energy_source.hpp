@@ -1,0 +1,53 @@
+// Energy sources and their carbon / water characteristics (paper Fig. 1).
+//
+// Carbon intensity per source follows the IPCC life-cycle figures the paper
+// cites [Bruckner et al. 2014]; energy-water-intensity factors (EWIF) follow
+// the Macknick et al. operational water-consumption review (the paper's
+// "widely-used open-source dataset" [35, 36]).  A second EWIF table emulates
+// the World Resources Institute guidance [45] used for the Fig. 6
+// dataset-sensitivity experiment.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace ww::env {
+
+enum class EnergySource : int {
+  Nuclear = 0,
+  Wind,
+  Hydro,
+  Geothermal,
+  Solar,
+  Biomass,
+  Gas,
+  Oil,
+  Coal,
+};
+
+inline constexpr int kNumEnergySources = 9;
+
+[[nodiscard]] std::string_view to_string(EnergySource s);
+
+/// True for the carbon-friendly (renewable/low-carbon) sources.
+[[nodiscard]] bool is_renewable(EnergySource s);
+
+/// Life-cycle carbon intensity, gCO2/kWh (lower is better).
+[[nodiscard]] double carbon_intensity(EnergySource s);
+
+/// Which EWIF dataset feeds the water model.
+enum class WaterDataset {
+  ElectricityMaps,        ///< Default: Macknick-style operational factors.
+  WorldResourcesInstitute ///< Alternative table for the Fig. 6 experiment.
+};
+
+[[nodiscard]] std::string_view to_string(WaterDataset d);
+
+/// Energy water intensity factor, L/kWh (higher = more water-thirsty).
+[[nodiscard]] double ewif(EnergySource s,
+                          WaterDataset dataset = WaterDataset::ElectricityMaps);
+
+/// All sources in enum order, for iteration.
+[[nodiscard]] const std::array<EnergySource, kNumEnergySources>& all_sources();
+
+}  // namespace ww::env

@@ -1,0 +1,39 @@
+#include "env/latency.hpp"
+
+#include <stdexcept>
+
+#include "env/region.hpp"
+
+namespace ww::env {
+
+TransferModel::TransferModel(std::vector<std::pair<double, double>> lat_lon,
+                             TransferConfig config)
+    : points_(std::move(lat_lon)), config_(config) {
+  if (points_.empty())
+    throw std::invalid_argument("TransferModel: need at least one region");
+}
+
+double TransferModel::distance_km(int from, int to) const {
+  const auto& a = points_.at(static_cast<std::size_t>(from));
+  const auto& b = points_.at(static_cast<std::size_t>(to));
+  return haversine_km(a.first, a.second, b.first, b.second);
+}
+
+double TransferModel::latency_seconds(int from, int to, double bytes) const {
+  if (from == to) return 0.0;
+  const double km = distance_km(from, to) * config_.route_stretch;
+  const double one_way = km / config_.fiber_speed_km_per_s;
+  const double handshakes = config_.rtt_setup_count * 2.0 * one_way;
+  const double serialization = bytes / config_.effective_bandwidth_bytes_per_s;
+  return handshakes + serialization;
+}
+
+double TransferModel::energy_kwh(int from, int to, double bytes) const {
+  if (from == to) return 0.0;
+  const double gb = bytes / 1.0e9;
+  const double km = distance_km(from, to);
+  return gb * (config_.energy_kwh_per_gb +
+               config_.energy_kwh_per_gb_per_1000km * km / 1000.0);
+}
+
+}  // namespace ww::env

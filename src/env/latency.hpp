@@ -1,0 +1,51 @@
+// Inter-region transfer model.
+//
+// The paper compresses job execution files into a .tar and moves them across
+// regions with SCP over 25 Gbps links; Table 3 shows the resulting latency /
+// carbon / water overheads are small but nonzero.  We model transfer latency
+// as propagation (great-circle distance over fiber with a routing stretch)
+// plus serialization at an effective WAN throughput, and transfer energy with
+// a per-byte WAN energy factor plus a small distance term.
+#pragma once
+
+#include <vector>
+
+namespace ww::env {
+
+struct TransferConfig {
+  double fiber_speed_km_per_s = 200000.0;  ///< ~2/3 c in glass.
+  double route_stretch = 1.6;              ///< Path vs. great-circle.
+  double rtt_setup_count = 8.0;            ///< SCP/TCP handshake round trips.
+  /// Single-stream cross-region SCP throughput.  Deliberately WAN-realistic
+  /// (not the 25 Gbps NIC rate): at ~25 MB/s a 200-500 MB package costs
+  /// 8-20 s, which is what makes the delay-tolerance constraint (Eq. 11)
+  /// bind for short jobs — the effect Figs. 3/5 sweep.
+  double effective_bandwidth_bytes_per_s = 25.0e6;
+  double energy_kwh_per_gb = 6.0e-5;       ///< WAN transport energy.
+  double energy_kwh_per_gb_per_1000km = 6.0e-6;  ///< Distance-dependent hops.
+};
+
+class TransferModel {
+ public:
+  TransferModel(std::vector<std::pair<double, double>> lat_lon,
+                TransferConfig config = {});
+
+  /// Seconds to move `bytes` from region `from` to region `to`.  Zero when
+  /// from == to (local execution needs no transfer).
+  [[nodiscard]] double latency_seconds(int from, int to, double bytes) const;
+
+  /// Energy consumed by the transfer (kWh); split evenly between endpoints
+  /// for accounting purposes.
+  [[nodiscard]] double energy_kwh(int from, int to, double bytes) const;
+
+  [[nodiscard]] double distance_km(int from, int to) const;
+  [[nodiscard]] int num_regions() const noexcept {
+    return static_cast<int>(points_.size());
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  TransferConfig config_;
+};
+
+}  // namespace ww::env

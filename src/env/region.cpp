@@ -1,0 +1,121 @@
+#include "env/region.hpp"
+
+#include <cmath>
+
+namespace ww::env {
+
+namespace {
+constexpr std::size_t idx(EnergySource s) {
+  return static_cast<std::size_t>(static_cast<int>(s));
+}
+
+MixConfig make_mix(double nuclear, double wind, double hydro, double geo,
+                   double solar, double biomass, double gas, double oil,
+                   double coal) {
+  MixConfig mix;
+  mix.base_share[idx(EnergySource::Nuclear)] = nuclear;
+  mix.base_share[idx(EnergySource::Wind)] = wind;
+  mix.base_share[idx(EnergySource::Hydro)] = hydro;
+  mix.base_share[idx(EnergySource::Geothermal)] = geo;
+  mix.base_share[idx(EnergySource::Solar)] = solar;
+  mix.base_share[idx(EnergySource::Biomass)] = biomass;
+  mix.base_share[idx(EnergySource::Gas)] = gas;
+  mix.base_share[idx(EnergySource::Oil)] = oil;
+  mix.base_share[idx(EnergySource::Coal)] = coal;
+  return mix;
+}
+}  // namespace
+
+RegionSpec zurich_spec() {
+  RegionSpec r;
+  r.name = "Zurich";
+  r.aws_zone = "eu-central-2";
+  r.latitude = 47.38;
+  r.longitude = 8.54;
+  r.wsf = 0.15;
+  r.price_usd_per_kwh = 0.16;
+  // Hydro/nuclear/biomass-heavy Swiss grid: lowest carbon intensity of the
+  // five but the highest EWIF (paper Fig. 2a/2b discussion).
+  r.mix = make_mix(/*nuclear=*/0.28, /*wind=*/0.04, /*hydro=*/0.30,
+                   /*geo=*/0.00, /*solar=*/0.06, /*biomass=*/0.12,
+                   /*gas=*/0.16, /*oil=*/0.02, /*coal=*/0.02);
+  r.weather = WeatherConfig{8.0, 8.0, 3.0, 1.6, 0.92, 200, 14.0};
+  return r;
+}
+
+RegionSpec madrid_spec() {
+  RegionSpec r;
+  r.name = "Madrid";
+  r.aws_zone = "eu-south-2";
+  r.latitude = 40.42;
+  r.longitude = -3.70;
+  r.wsf = 0.72;  // carbon-friendly yet severely water-stressed (Fig. 2d)
+  r.price_usd_per_kwh = 0.12;
+  r.mix = make_mix(0.20, 0.24, 0.08, 0.00, 0.22, 0.03, 0.20, 0.01, 0.02);
+  // Hot, dry interior: high wet-bulb summers drive the second-highest WUE
+  // of the five regions (Fig. 2c), so Madrid is carbon-friendly but
+  // water-expensive — the tension Observation 2 highlights.
+  r.weather = WeatherConfig{14.5, 9.0, 5.0, 1.8, 0.90, 200, 14.0};
+  return r;
+}
+
+RegionSpec oregon_spec() {
+  RegionSpec r;
+  r.name = "Oregon";
+  r.aws_zone = "us-west-2";
+  r.latitude = 45.52;
+  r.longitude = -122.68;
+  r.wsf = 0.55;  // low regional EWIF but high scarcity (paper Sec. 3, Obs. 2)
+  r.price_usd_per_kwh = 0.08;
+  r.mix = make_mix(0.16, 0.10, 0.14, 0.01, 0.05, 0.01, 0.40, 0.01, 0.12);
+  r.weather = WeatherConfig{9.5, 7.0, 4.0, 1.7, 0.91, 200, 14.0};
+  return r;
+}
+
+RegionSpec milan_spec() {
+  RegionSpec r;
+  r.name = "Milan";
+  r.aws_zone = "eu-south-1";
+  r.latitude = 45.46;
+  r.longitude = 9.19;
+  r.wsf = 0.35;
+  r.price_usd_per_kwh = 0.18;
+  r.mix = make_mix(0.02, 0.06, 0.13, 0.01, 0.10, 0.06, 0.50, 0.08, 0.04);
+  r.weather = WeatherConfig{11.5, 9.0, 3.5, 1.6, 0.91, 200, 14.0};
+  return r;
+}
+
+RegionSpec mumbai_spec() {
+  RegionSpec r;
+  r.name = "Mumbai";
+  r.aws_zone = "ap-south-1";
+  r.latitude = 19.08;
+  r.longitude = 72.88;
+  r.wsf = 0.78;
+  r.price_usd_per_kwh = 0.09;
+  // Coal-dominated grid: highest carbon intensity, but low regional EWIF
+  // (fossil sources are water-light per Fig. 1).
+  r.mix = make_mix(0.03, 0.02, 0.05, 0.00, 0.08, 0.01, 0.14, 0.08, 0.59);
+  r.weather = WeatherConfig{24.0, 3.5, 2.0, 1.2, 0.93, 135, 11.0};
+  return r;
+}
+
+std::vector<RegionSpec> builtin_region_specs() {
+  return {zurich_spec(), madrid_spec(), oregon_spec(), milan_spec(),
+          mumbai_spec()};
+}
+
+double haversine_km(double lat1, double lon1, double lat2, double lon2) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDeg2Rad = M_PI / 180.0;
+  const double phi1 = lat1 * kDeg2Rad;
+  const double phi2 = lat2 * kDeg2Rad;
+  const double dphi = (lat2 - lat1) * kDeg2Rad;
+  const double dlambda = (lon2 - lon1) * kDeg2Rad;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                       std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+}  // namespace ww::env

@@ -1,0 +1,50 @@
+// Data-center region profiles.
+//
+// The paper evaluates five AWS regions: eu-central-2 (Zurich), us-west-2
+// (Oregon), eu-south-2 (Madrid/Spain), eu-south-1 (Milan), ap-south-1
+// (Mumbai).  Each profile bundles the sustainability factors WaterWise needs:
+// energy mix (carbon intensity + EWIF), weather (WUE), Water Scarcity Factor,
+// PUE, geographic location for the transfer model, and server capacity.
+#pragma once
+
+#include <string>
+
+#include "env/energy_mix.hpp"
+#include "env/weather.hpp"
+
+namespace ww::env {
+
+struct RegionSpec {
+  std::string name;      ///< Human name, e.g. "Zurich".
+  std::string aws_zone;  ///< e.g. "eu-central-2".
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double wsf = 0.0;      ///< Water Scarcity Factor (Fig. 2d; [0, 1)).
+  double pue = 1.2;      ///< Power Usage Effectiveness (paper default 1.2).
+  int servers = 35;      ///< Server count (paper: 175 nodes / 5 regions).
+  /// Base industrial electricity price (USD/kWh), for the cost-objective
+  /// extension the paper's Discussion section sketches (Sec. 7).
+  double price_usd_per_kwh = 0.12;
+  MixConfig mix;
+  WeatherConfig weather;
+};
+
+/// Built-in specs for the paper's five regions, calibrated so the regional
+/// averages reproduce Fig. 2: carbon intensity ordered Zurich < Madrid <
+/// Oregon < Milan < Mumbai; Zurich highest EWIF (hydro/biomass grid);
+/// Mumbai low EWIF but high WSF and WUE; Madrid carbon-friendly yet
+/// water-stressed.
+[[nodiscard]] RegionSpec zurich_spec();
+[[nodiscard]] RegionSpec madrid_spec();
+[[nodiscard]] RegionSpec oregon_spec();
+[[nodiscard]] RegionSpec milan_spec();
+[[nodiscard]] RegionSpec mumbai_spec();
+
+/// All five in the paper's sort order (by carbon intensity).
+[[nodiscard]] std::vector<RegionSpec> builtin_region_specs();
+
+/// Great-circle distance between two lat/lon points, kilometers.
+[[nodiscard]] double haversine_km(double lat1, double lon1, double lat2,
+                                  double lon2);
+
+}  // namespace ww::env

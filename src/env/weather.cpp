@@ -1,0 +1,50 @@
+#include "env/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ww::env {
+
+double wue_from_wet_bulb(double wet_bulb_c) {
+  // Quadratic fit to cooling-tower evaporation: ~0.4 L/kWh at 5C wet-bulb,
+  // ~3 L/kWh at 15C, ~6.5 L/kWh at 25C, ~8.5 L/kWh at 30C — matching the
+  // 0-8 L/kWh regional range of Fig. 2(c).  Floor models drift/blowdown.
+  const double w = -0.72 + 0.198 * wet_bulb_c + 0.0036 * wet_bulb_c * wet_bulb_c;
+  return std::max(0.05, w);
+}
+
+WeatherModel::WeatherModel(WeatherConfig config, util::Rng rng,
+                           int horizon_hours)
+    : config_(config) {
+  if (horizon_hours <= 0)
+    throw std::invalid_argument("WeatherModel: horizon must be positive");
+  samples_.resize(static_cast<std::size_t>(horizon_hours));
+  double noise = 0.0;
+  const double innovation =
+      config_.noise_stddev_c * std::sqrt(1.0 - config_.noise_rho * config_.noise_rho);
+  for (int h = 0; h < horizon_hours; ++h) {
+    const double day = static_cast<double>(h) / 24.0;
+    const double hour_of_day = static_cast<double>(h % 24);
+    const double annual =
+        config_.annual_amplitude_c *
+        std::cos(2.0 * M_PI * (day - config_.peak_day_of_year) / 365.0);
+    const double diurnal =
+        config_.diurnal_amplitude_c *
+        std::cos(2.0 * M_PI * (hour_of_day - config_.peak_hour_utc) / 24.0);
+    noise = config_.noise_rho * noise + innovation * rng.normal();
+    samples_[static_cast<std::size_t>(h)] =
+        config_.mean_c + annual + diurnal + noise;
+  }
+}
+
+double WeatherModel::wet_bulb_c(double t_seconds) const {
+  const double h = std::max(0.0, t_seconds / 3600.0);
+  const auto lo = static_cast<std::size_t>(
+      std::min(h, static_cast<double>(samples_.size() - 1)));
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = std::clamp(h - static_cast<double>(lo), 0.0, 1.0);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace ww::env

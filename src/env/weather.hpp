@@ -1,0 +1,57 @@
+// Regional wet-bulb temperature synthesis and the WUE cooling model.
+//
+// The paper sources wet-bulb temperature from Meteologix and derives Water
+// Usage Effectiveness (WUE) from it [32].  Offline we synthesize a per-region
+// wet-bulb series as annual + diurnal sinusoids plus AR(1) weather noise,
+// calibrated so regional WUE averages reproduce Fig. 2(c) (Mumbai and Madrid
+// high, Zurich low).  WUE follows the standard cooling-tower evaporation
+// curve: monotonically increasing in wet-bulb temperature.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ww::env {
+
+/// Cooling-tower WUE (L per kWh of IT energy) as a function of wet-bulb
+/// temperature in Celsius.  Monotone non-decreasing, clamped below at the
+/// drift/blowdown floor.
+[[nodiscard]] double wue_from_wet_bulb(double wet_bulb_c);
+
+struct WeatherConfig {
+  double mean_c = 12.0;          ///< Annual mean wet-bulb temperature.
+  double annual_amplitude_c = 8.0;
+  double diurnal_amplitude_c = 3.0;
+  double noise_stddev_c = 1.5;   ///< AR(1) innovation scale.
+  double noise_rho = 0.92;       ///< AR(1) hourly persistence.
+  double peak_day_of_year = 200; ///< Warmest day (July in the north).
+  double peak_hour_utc = 14.0;   ///< Warmest hour of day.
+};
+
+/// Deterministic, precomputed hourly wet-bulb series.
+class WeatherModel {
+ public:
+  /// `horizon_hours` samples are generated from `rng` at construction; all
+  /// later queries are pure lookups + interpolation (bit-reproducible).
+  WeatherModel(WeatherConfig config, util::Rng rng, int horizon_hours);
+
+  /// Wet-bulb temperature at time t (seconds since epoch start); linear
+  /// interpolation between hourly samples, clamped at the horizon.
+  [[nodiscard]] double wet_bulb_c(double t_seconds) const;
+
+  [[nodiscard]] double wue(double t_seconds) const {
+    return wue_from_wet_bulb(wet_bulb_c(t_seconds));
+  }
+
+  [[nodiscard]] const WeatherConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int horizon_hours() const noexcept {
+    return static_cast<int>(samples_.size());
+  }
+
+ private:
+  WeatherConfig config_;
+  std::vector<double> samples_;  ///< Hourly wet-bulb temperatures.
+};
+
+}  // namespace ww::env

@@ -1,0 +1,81 @@
+#include "footprint/footprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ww::footprint {
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) noexcept {
+  operational_carbon_g += o.operational_carbon_g;
+  embodied_carbon_g += o.embodied_carbon_g;
+  offsite_water_l += o.offsite_water_l;
+  onsite_water_l += o.onsite_water_l;
+  embodied_water_l += o.embodied_water_l;
+  return *this;
+}
+
+FootprintModel::FootprintModel(const env::Environment& env, ServerSpec server,
+                               double embodied_scale)
+    : env_(&env), server_(server), embodied_scale_(embodied_scale) {}
+
+Breakdown FootprintModel::operational_at(int r, double t,
+                                         double energy_kwh) const {
+  Breakdown b;
+  const double scarcity = 1.0 + env_->wsf(r);
+  b.operational_carbon_g = energy_kwh * env_->carbon_intensity(r, t);
+  b.offsite_water_l = env_->pue(r) * energy_kwh * env_->ewif(r, t) * scarcity;
+  b.onsite_water_l = energy_kwh * env_->wue(r, t) * scarcity;
+  return b;
+}
+
+void FootprintModel::add_embodied(Breakdown& b, double exec_seconds) const {
+  const double amortization = exec_seconds / server_.lifetime_seconds;
+  b.embodied_carbon_g =
+      embodied_scale_ * amortization * server_.embodied_carbon_g;
+  b.embodied_water_l =
+      embodied_scale_ * amortization * server_.embodied_water_l();
+}
+
+Breakdown FootprintModel::job_at(int r, double t, double energy_kwh,
+                                 double exec_seconds) const {
+  Breakdown b = operational_at(r, t, energy_kwh);
+  add_embodied(b, exec_seconds);
+  return b;
+}
+
+Breakdown FootprintModel::job_integrated(int r, double t_start,
+                                         double exec_seconds,
+                                         double energy_kwh) const {
+  Breakdown total;
+  if (exec_seconds <= 0.0) return total;
+  // Integrate hourly: energy is spread uniformly across the execution
+  // interval and each slice is billed at its own intensities.
+  const double t_end = t_start + exec_seconds;
+  double t = t_start;
+  while (t < t_end) {
+    const double slice_end = std::min(t_end, (std::floor(t / 3600.0) + 1.0) * 3600.0);
+    const double frac = (slice_end - t) / exec_seconds;
+    const double mid = 0.5 * (t + slice_end);
+    const Breakdown slice = operational_at(r, mid, energy_kwh * frac);
+    total += slice;
+    t = slice_end;
+  }
+  add_embodied(total, exec_seconds);
+  return total;
+}
+
+Breakdown FootprintModel::transfer(int from, int to, double bytes,
+                                   double t) const {
+  Breakdown b;
+  if (from == to) return b;
+  const double energy = env_->transfer_energy_kwh(from, to, bytes);
+  if (energy <= 0.0) return b;
+  // Split the transfer energy across the two endpoints' grids.
+  const Breakdown a = operational_at(from, t, 0.5 * energy);
+  const Breakdown c = operational_at(to, t, 0.5 * energy);
+  b += a;
+  b += c;
+  return b;
+}
+
+}  // namespace ww::footprint

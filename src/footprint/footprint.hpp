@@ -1,0 +1,102 @@
+// Carbon- and water-footprint model: Sec. 2 of the paper, Eq. 1-6.
+//
+// Carbon (Eq. 1):  CO2_j = E_j * CI + (t_j / T_lifetime) * CO2_embodied
+// Offsite water (Eq. 2):  PUE * E_j * EWIF * (1 + WSF_dc)
+// Onsite water (Eq. 3):   E_j * WUE * (1 + WSF_dc)
+// Embodied water (Eq. 4): E_manufacturing * EWIF * (1 + WSF_mfg), amortized
+//                         by t_j / T_lifetime like embodied carbon.
+// Water intensity (Eq. 6): (WUE + PUE * EWIF) * (1 + WSF_dc)
+//
+// Two evaluation modes:
+//  * `at`          — intensities sampled at a single instant; this is what
+//                    the scheduler uses for decisions (it has no future).
+//  * `integrated`  — intensities integrated hourly across the execution
+//                    interval; this is what the simulator's ledger records.
+#pragma once
+
+#include "env/environment.hpp"
+
+namespace ww::footprint {
+
+/// Server constants for embodied-footprint amortization; defaults model the
+/// AWS m5.metal estimate from the Teads EC2 dataset the paper uses [13].
+struct ServerSpec {
+  double embodied_carbon_g = 7.0e6;        ///< ~7 tCO2e per 4-socket server.
+  double lifetime_seconds = 4.0 * 365.25 * 86400.0;  ///< 4-year depreciation.
+  double manufacturing_ci_g_per_kwh = 700.0;  ///< Grid CI at the fab.
+  double manufacturing_ewif_l_per_kwh = 1.8;
+  double manufacturing_wsf = 0.6;          ///< Fabs sit in stressed regions.
+
+  /// Eq. 4 precursor: back out manufacturing energy from embodied carbon.
+  [[nodiscard]] double manufacturing_energy_kwh() const {
+    return embodied_carbon_g / manufacturing_ci_g_per_kwh;
+  }
+  /// Total embodied water per server, Eq. 4.
+  [[nodiscard]] double embodied_water_l() const {
+    return manufacturing_energy_kwh() * manufacturing_ewif_l_per_kwh *
+           (1.0 + manufacturing_wsf);
+  }
+};
+
+/// Per-job footprint decomposition (grams CO2e / liters, scarcity-weighted).
+struct Breakdown {
+  double operational_carbon_g = 0.0;
+  double embodied_carbon_g = 0.0;
+  double offsite_water_l = 0.0;
+  double onsite_water_l = 0.0;
+  double embodied_water_l = 0.0;
+
+  [[nodiscard]] double carbon_g() const noexcept {
+    return operational_carbon_g + embodied_carbon_g;
+  }
+  [[nodiscard]] double water_l() const noexcept {
+    return offsite_water_l + onsite_water_l + embodied_water_l;
+  }
+  Breakdown& operator+=(const Breakdown& o) noexcept;
+};
+
+class FootprintModel {
+ public:
+  /// `embodied_scale` is the +-10% sensitivity knob of Sec. 6.
+  explicit FootprintModel(const env::Environment& env, ServerSpec server = {},
+                          double embodied_scale = 1.0);
+
+  /// Footprint of running a job of `energy_kwh` / `exec_seconds` in region
+  /// `r` with all intensities frozen at instant `t` (scheduler view).
+  [[nodiscard]] Breakdown job_at(int r, double t, double energy_kwh,
+                                 double exec_seconds) const;
+
+  /// Footprint with intensities integrated hourly over
+  /// [t_start, t_start + exec_seconds] (ledger view).
+  [[nodiscard]] Breakdown job_integrated(int r, double t_start,
+                                         double exec_seconds,
+                                         double energy_kwh) const;
+
+  /// Footprint of moving `bytes` from `from` to `to` at time `t`; transfer
+  /// energy is billed at the mean of the two regions' intensities.
+  [[nodiscard]] Breakdown transfer(int from, int to, double bytes,
+                                   double t) const;
+
+  /// Eq. 6 convenience forward.
+  [[nodiscard]] double water_intensity(int r, double t) const {
+    return env_->water_intensity(r, t);
+  }
+
+  [[nodiscard]] const ServerSpec& server() const noexcept { return server_; }
+  [[nodiscard]] const env::Environment& environment() const noexcept {
+    return *env_;
+  }
+  [[nodiscard]] double embodied_scale() const noexcept {
+    return embodied_scale_;
+  }
+
+ private:
+  [[nodiscard]] Breakdown operational_at(int r, double t, double energy_kwh) const;
+  void add_embodied(Breakdown& b, double exec_seconds) const;
+
+  const env::Environment* env_;
+  ServerSpec server_;
+  double embodied_scale_;
+};
+
+}  // namespace ww::footprint

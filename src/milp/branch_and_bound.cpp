@@ -1,0 +1,185 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace ww::milp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  ///< Parent LP objective: a valid lower bound for this node.
+  int depth = 0;
+};
+
+std::string to_string_impl(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterationLimit: return "iteration-limit";
+    case Status::NodeLimit: return "node-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string to_string(Status s) { return to_string_impl(s); }
+
+BranchAndBound::BranchAndBound(const Model& model, SolverOptions options)
+    : model_(model), options_(options) {}
+
+Solution BranchAndBound::solve() {
+  const util::Stopwatch watch;
+  SimplexSolver lp(model_, options_);
+
+  const int n = model_.num_variables();
+  std::vector<bool> is_int(static_cast<std::size_t>(n), false);
+  for (int j = 0; j < n; ++j)
+    is_int[static_cast<std::size_t>(j)] =
+        model_.variable(j).type != VarType::Continuous;
+
+  Solution best;
+  best.status = Status::Infeasible;
+  double incumbent = std::numeric_limits<double>::infinity();
+  long nodes = 0;
+  long total_iterations = 0;
+  bool limits_hit = false;
+  double root_bound = -std::numeric_limits<double>::infinity();
+
+  Node root;
+  root.lower.resize(static_cast<std::size_t>(n));
+  root.upper.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    root.lower[static_cast<std::size_t>(j)] = model_.variable(j).lower;
+    root.upper[static_cast<std::size_t>(j)] = model_.variable(j).upper;
+  }
+  root.bound = -std::numeric_limits<double>::infinity();
+
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    if (nodes >= options_.max_nodes ||
+        watch.elapsed_seconds() > options_.time_limit_seconds) {
+      limits_hit = true;
+      break;
+    }
+    const double prune_margin =
+        std::max(options_.mip_gap_abs,
+                 options_.mip_gap_rel * std::abs(incumbent));
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.bound >= incumbent - prune_margin) continue;  // pruned
+
+    ++nodes;
+    const Solution relax = lp.solve_with_bounds(node.lower, node.upper);
+    total_iterations += relax.simplex_iterations;
+    if (relax.status == Status::Infeasible) continue;
+    if (relax.status == Status::Unbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded or
+      // infeasible; report unbounded (integrality cannot bound a ray here
+      // for the model classes WaterWise builds).
+      Solution sol;
+      sol.status = Status::Unbounded;
+      sol.nodes_explored = nodes;
+      sol.simplex_iterations = total_iterations;
+      sol.solve_seconds = watch.elapsed_seconds();
+      return sol;
+    }
+    if (relax.status == Status::IterationLimit) {
+      limits_hit = true;
+      continue;
+    }
+    if (nodes == 1) root_bound = relax.objective;
+    if (relax.objective >= incumbent - prune_margin) continue;
+
+    // Most-fractional branching variable.
+    int branch_var = -1;
+    double worst_frac = options_.integrality_tolerance;
+    for (int j = 0; j < n; ++j) {
+      if (!is_int[static_cast<std::size_t>(j)]) continue;
+      const double v = relax.values[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = j;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: candidate incumbent (snap integer values exactly).
+      Solution cand = relax;
+      for (int j = 0; j < n; ++j)
+        if (is_int[static_cast<std::size_t>(j)])
+          cand.values[static_cast<std::size_t>(j)] =
+              std::round(cand.values[static_cast<std::size_t>(j)]);
+      cand.objective = model_.objective_value(cand.values);
+      if (cand.objective < incumbent) {
+        incumbent = cand.objective;
+        best = std::move(cand);
+        best.has_incumbent = true;
+      }
+      continue;
+    }
+
+    const auto bu = static_cast<std::size_t>(branch_var);
+    const double v = relax.values[bu];
+    const double fl = std::floor(v);
+
+    Node down = node;  // x <= floor(v)
+    down.upper[bu] = fl;
+    down.bound = relax.objective;
+    down.depth = node.depth + 1;
+
+    Node up = std::move(node);  // x >= floor(v) + 1
+    up.lower[bu] = fl + 1.0;
+    up.bound = relax.objective;
+    up.depth = down.depth;
+
+    // Dive toward the nearest integer first (explored last-pushed-first).
+    if (v - fl < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  best.nodes_explored = nodes;
+  best.simplex_iterations = total_iterations;
+  best.solve_seconds = watch.elapsed_seconds();
+  if (limits_hit) {
+    best.status = Status::NodeLimit;
+    // Remaining open nodes bound the optimum from below.
+    double open_bound = incumbent;
+    for (const Node& nd : stack) open_bound = std::min(open_bound, nd.bound);
+    best.best_bound = std::min(open_bound, incumbent);
+  } else if (best.has_incumbent) {
+    best.status = Status::Optimal;
+    best.best_bound = best.objective;
+  } else {
+    best.status = Status::Infeasible;
+    best.best_bound = root_bound;
+  }
+  return best;
+}
+
+Solution solve(const Model& model, SolverOptions options) {
+  if (!model.has_integer_variables()) {
+    SimplexSolver lp(model, options);
+    return lp.solve();
+  }
+  BranchAndBound bb(model, options);
+  return bb.solve();
+}
+
+}  // namespace ww::milp

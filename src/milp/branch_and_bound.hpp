@@ -1,0 +1,33 @@
+// Branch-and-bound over the bounded-variable simplex.
+//
+// Depth-first diving with round-to-nearest child ordering finds an incumbent
+// quickly; nodes are pruned against the incumbent using the LP relaxation
+// bound.  WaterWise's scheduling program (assignment + capacity rows) is
+// near-transportation, so relaxations are almost always integral and the tree
+// rarely branches — the machinery exists for correctness when the delay rows
+// or penalty terms break integrality, and is stress-tested on knapsack
+// instances where branching is mandatory.
+#pragma once
+
+#include "milp/model.hpp"
+#include "milp/simplex.hpp"
+#include "milp/solution.hpp"
+
+namespace ww::milp {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, SolverOptions options = {});
+
+  [[nodiscard]] Solution solve();
+
+ private:
+  const Model& model_;
+  SolverOptions options_;
+};
+
+/// Facade: dispatches to pure LP when the model has no integer variables,
+/// branch-and-bound otherwise.
+[[nodiscard]] Solution solve(const Model& model, SolverOptions options = {});
+
+}  // namespace ww::milp

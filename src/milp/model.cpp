@@ -1,0 +1,112 @@
+#include "milp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ww::milp {
+
+int Model::add_variable(std::string name, double lower, double upper,
+                        VarType type, double objective) {
+  if (type == VarType::Binary) {
+    lower = 0.0;
+    upper = 1.0;
+  }
+  if (lower > upper)
+    throw std::invalid_argument("Model: variable '" + name +
+                                "' has lower > upper");
+  variables_.push_back(
+      Variable{std::move(name), lower, upper, type, objective});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Model::add_continuous(std::string name, double lower, double upper,
+                          double objective) {
+  return add_variable(std::move(name), lower, upper, VarType::Continuous,
+                      objective);
+}
+
+int Model::add_binary(std::string name, double objective) {
+  return add_variable(std::move(name), 0.0, 1.0, VarType::Binary, objective);
+}
+
+void Model::set_objective_coefficient(int var, double coeff) {
+  variables_.at(static_cast<std::size_t>(var)).objective = coeff;
+}
+
+void Model::add_objective_coefficient(int var, double delta) {
+  variables_.at(static_cast<std::size_t>(var)).objective += delta;
+}
+
+void Model::set_variable_bounds(int var, double lower, double upper) {
+  if (lower > upper)
+    throw std::invalid_argument("Model: set_variable_bounds lower > upper");
+  auto& v = variables_.at(static_cast<std::size_t>(var));
+  v.lower = lower;
+  v.upper = upper;
+}
+
+int Model::add_constraint(std::string name, std::vector<Term> terms,
+                          Sense sense, double rhs) {
+  // Merge duplicate variables and drop exact zeros.
+  std::unordered_map<int, double> merged;
+  for (const Term& t : terms) {
+    if (t.var < 0 || t.var >= num_variables())
+      throw std::out_of_range("Model: constraint '" + name +
+                              "' references unknown variable");
+    merged[t.var] += t.coeff;
+  }
+  std::vector<Term> clean;
+  clean.reserve(merged.size());
+  for (const auto& [var, coeff] : merged)
+    if (coeff != 0.0) clean.push_back(Term{var, coeff});
+  std::sort(clean.begin(), clean.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  constraints_.push_back(Constraint{std::move(name), std::move(clean), sense, rhs});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+bool Model::has_integer_variables() const noexcept {
+  return std::any_of(variables_.begin(), variables_.end(), [](const Variable& v) {
+    return v.type != VarType::Continuous;
+  });
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < variables_.size() && i < x.size(); ++i)
+    obj += variables_[i].objective * x[i];
+  return obj;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const double v = i < x.size() ? x[i] : 0.0;
+    worst = std::max(worst, variables_[i].lower - v);
+    worst = std::max(worst, v - variables_[i].upper);
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms)
+      lhs += t.coeff *
+             (static_cast<std::size_t>(t.var) < x.size()
+                  ? x[static_cast<std::size_t>(t.var)]
+                  : 0.0);
+    switch (c.sense) {
+      case Sense::LessEqual:
+        worst = std::max(worst, lhs - c.rhs);
+        break;
+      case Sense::GreaterEqual:
+        worst = std::max(worst, c.rhs - lhs);
+        break;
+      case Sense::Equal:
+        worst = std::max(worst, std::abs(lhs - c.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace ww::milp

@@ -1,0 +1,547 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace ww::milp {
+
+namespace {
+constexpr double kInf = kInfinity;
+}
+
+SimplexSolver::SimplexSolver(const Model& model, SolverOptions options)
+    : options_(options) {
+  build_standard_form(model);
+}
+
+void SimplexSolver::build_standard_form(const Model& model) {
+  m_ = model.num_constraints();
+  n_struct_ = model.num_variables();
+  n_logic_ = m_;
+  n_art_ = 0;
+
+  const int n = n_struct_ + n_logic_;
+  cols_.assign(static_cast<std::size_t>(n), {});
+  rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+  cost_.assign(static_cast<std::size_t>(n), 0.0);
+  base_lb_.assign(static_cast<std::size_t>(n), 0.0);
+  base_ub_.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (int j = 0; j < n_struct_; ++j) {
+    const Variable& v = model.variable(j);
+    cost_[static_cast<std::size_t>(j)] = v.objective;
+    base_lb_[static_cast<std::size_t>(j)] = v.lower;
+    base_ub_[static_cast<std::size_t>(j)] = v.upper;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& c = model.constraint(i);
+    rhs_[static_cast<std::size_t>(i)] = c.rhs;
+    for (const Term& t : c.terms) {
+      auto& col = cols_[static_cast<std::size_t>(t.var)];
+      col.rows.push_back(i);
+      col.values.push_back(t.coeff);
+    }
+    // Logical column: row + slack = rhs, slack bounds encode the sense.
+    const int sj = n_struct_ + i;
+    auto& slack = cols_[static_cast<std::size_t>(sj)];
+    slack.rows.push_back(i);
+    slack.values.push_back(1.0);
+    switch (c.sense) {
+      case Sense::LessEqual:
+        base_lb_[static_cast<std::size_t>(sj)] = 0.0;
+        base_ub_[static_cast<std::size_t>(sj)] = kInf;
+        break;
+      case Sense::GreaterEqual:
+        base_lb_[static_cast<std::size_t>(sj)] = -kInf;
+        base_ub_[static_cast<std::size_t>(sj)] = 0.0;
+        break;
+      case Sense::Equal:
+        base_lb_[static_cast<std::size_t>(sj)] = 0.0;
+        base_ub_[static_cast<std::size_t>(sj)] = 0.0;
+        break;
+    }
+  }
+}
+
+double SimplexSolver::nonbasic_value(int j) const {
+  const auto ju = static_cast<std::size_t>(j);
+  switch (state_[ju]) {
+    case NonbasicState::AtLower:
+      return lb_[ju];
+    case NonbasicState::AtUpper:
+      return ub_[ju];
+    case NonbasicState::AtZero:
+      return 0.0;
+    case NonbasicState::Basic:
+      break;
+  }
+  assert(false && "nonbasic_value called on basic column");
+  return 0.0;
+}
+
+void SimplexSolver::reset_state(const std::vector<double>& lower,
+                                const std::vector<double>& upper) {
+  const int n = n_struct_ + n_logic_;
+  cols_.resize(static_cast<std::size_t>(n));  // drop artificials of prior solve
+  cost_.resize(static_cast<std::size_t>(n));
+  n_art_ = 0;
+
+  lb_.assign(base_lb_.begin(), base_lb_.end());
+  ub_.assign(base_ub_.begin(), base_ub_.end());
+  for (int j = 0; j < n_struct_; ++j) {
+    lb_[static_cast<std::size_t>(j)] = lower[static_cast<std::size_t>(j)];
+    ub_[static_cast<std::size_t>(j)] = upper[static_cast<std::size_t>(j)];
+  }
+
+  state_.assign(static_cast<std::size_t>(n), NonbasicState::AtLower);
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (std::isfinite(lb_[ju])) {
+      state_[ju] = NonbasicState::AtLower;
+    } else if (std::isfinite(ub_[ju])) {
+      state_[ju] = NonbasicState::AtUpper;
+    } else {
+      state_[ju] = NonbasicState::AtZero;
+    }
+  }
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  iterations_this_solve_ = 0;
+  use_bland_ = false;
+}
+
+void SimplexSolver::install_initial_basis() {
+  // Residual each logical column would have to absorb.
+  std::vector<double> resid(rhs_);
+  for (int j = 0; j < n_struct_; ++j) {
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    const auto& col = cols_[static_cast<std::size_t>(j)];
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      resid[static_cast<std::size_t>(col.rows[k])] -= col.values[k] * v;
+  }
+
+  phase_cost_.assign(cols_.size(), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const int sj = n_struct_ + i;
+    const auto sju = static_cast<std::size_t>(sj);
+    const double v = resid[iu];
+    if (v >= lb_[sju] - options_.feasibility_tolerance &&
+        v <= ub_[sju] + options_.feasibility_tolerance) {
+      basis_[iu] = sj;
+      state_[sju] = NonbasicState::Basic;
+      continue;
+    }
+    // Clamp the logical to its nearest bound and cover the gap with an
+    // artificial column of the right sign so the artificial starts at a
+    // non-negative value.
+    const double clamped = std::clamp(v, lb_[sju], ub_[sju]);
+    state_[sju] = (clamped == lb_[sju]) ? NonbasicState::AtLower
+                                        : NonbasicState::AtUpper;
+    const double gap = v - clamped;
+    SparseColumn art;
+    art.rows.push_back(i);
+    art.values.push_back(gap > 0.0 ? 1.0 : -1.0);
+    cols_.push_back(std::move(art));
+    lb_.push_back(0.0);
+    ub_.push_back(kInf);
+    cost_.push_back(0.0);
+    phase_cost_.push_back(1.0);
+    state_.push_back(NonbasicState::Basic);
+    basis_[iu] = static_cast<int>(cols_.size()) - 1;
+    ++n_art_;
+  }
+  refactorize();
+}
+
+void SimplexSolver::refactorize() {
+  // Dense Gauss-Jordan inversion of the basis matrix with partial pivoting.
+  const auto mu = static_cast<std::size_t>(m_);
+  std::vector<double> mat(mu * mu, 0.0);
+  for (int col = 0; col < m_; ++col) {
+    const auto& c = cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(col)])];
+    for (std::size_t k = 0; k < c.rows.size(); ++k)
+      mat[static_cast<std::size_t>(c.rows[k]) * mu + static_cast<std::size_t>(col)] =
+          c.values[k];
+  }
+  binv_.assign(mu * mu, 0.0);
+  for (std::size_t i = 0; i < mu; ++i) binv_[i * mu + i] = 1.0;
+
+  for (std::size_t col = 0; col < mu; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    double best = std::abs(mat[col * mu + col]);
+    for (std::size_t r = col + 1; r < mu; ++r) {
+      const double a = std::abs(mat[r * mu + col]);
+      if (a > best) {
+        best = a;
+        piv = r;
+      }
+    }
+    if (best < 1e-12)
+      throw std::runtime_error("SimplexSolver: singular basis during refactorization");
+    if (piv != col) {
+      for (std::size_t k = 0; k < mu; ++k) {
+        std::swap(mat[piv * mu + k], mat[col * mu + k]);
+        std::swap(binv_[piv * mu + k], binv_[col * mu + k]);
+      }
+    }
+    const double inv = 1.0 / mat[col * mu + col];
+    for (std::size_t k = 0; k < mu; ++k) {
+      mat[col * mu + k] *= inv;
+      binv_[col * mu + k] *= inv;
+    }
+    for (std::size_t r = 0; r < mu; ++r) {
+      if (r == col) continue;
+      const double f = mat[r * mu + col];
+      if (f == 0.0) continue;
+      for (std::size_t k = 0; k < mu; ++k) {
+        mat[r * mu + k] -= f * mat[col * mu + k];
+        binv_[r * mu + k] -= f * binv_[col * mu + k];
+      }
+    }
+  }
+  recompute_basic_values();
+}
+
+void SimplexSolver::recompute_basic_values() {
+  std::vector<double> rhs(rhs_);
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (state_[j] == NonbasicState::Basic) continue;
+    const double v = nonbasic_value(static_cast<int>(j));
+    if (v == 0.0) continue;
+    const auto& col = cols_[j];
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      rhs[static_cast<std::size_t>(col.rows[k])] -= col.values[k] * v;
+  }
+  const auto mu = static_cast<std::size_t>(m_);
+  xb_.assign(mu, 0.0);
+  for (std::size_t i = 0; i < mu; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < mu; ++k) acc += binv_[i * mu + k] * rhs[k];
+    xb_[i] = acc;
+  }
+}
+
+void SimplexSolver::ftran(const SparseColumn& col, std::vector<double>& out) const {
+  const auto mu = static_cast<std::size_t>(m_);
+  out.assign(mu, 0.0);
+  for (std::size_t k = 0; k < col.rows.size(); ++k) {
+    const auto r = static_cast<std::size_t>(col.rows[k]);
+    const double v = col.values[k];
+    for (std::size_t i = 0; i < mu; ++i) out[i] += binv_[i * mu + r] * v;
+  }
+}
+
+void SimplexSolver::btran(const std::vector<double>& cb,
+                          std::vector<double>& out) const {
+  const auto mu = static_cast<std::size_t>(m_);
+  out.assign(mu, 0.0);
+  for (std::size_t i = 0; i < mu; ++i) {
+    const double c = cb[i];
+    if (c == 0.0) continue;
+    for (std::size_t k = 0; k < mu; ++k) out[k] += c * binv_[i * mu + k];
+  }
+}
+
+SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase1) {
+  const double tol = options_.pivot_tolerance;
+  const auto mu = static_cast<std::size_t>(m_);
+  const long bland_threshold = 1000 + 20L * static_cast<long>(cols_.size());
+  long since_refactor = 0;
+
+  std::vector<double> cb(mu, 0.0);
+  for (;;) {
+    if (iterations_this_solve_ >= options_.max_iterations)
+      return LoopResult::IterationLimit;
+    ++iterations_;
+    ++iterations_this_solve_;
+    if (iterations_this_solve_ > bland_threshold) use_bland_ = true;
+    if (++since_refactor >= options_.refactor_interval) {
+      refactorize();
+      since_refactor = 0;
+    }
+
+    for (std::size_t i = 0; i < mu; ++i)
+      cb[i] = phase_cost_[static_cast<std::size_t>(basis_[i])];
+    btran(cb, y_);
+
+    // --- pricing ---------------------------------------------------------
+    int entering = -1;
+    int direction = 0;  // +1: entering increases, -1: decreases.
+    double best_score = tol;
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      const NonbasicState st = state_[j];
+      if (st == NonbasicState::Basic) continue;
+      if (lb_[j] == ub_[j]) continue;  // fixed column can never improve
+      const auto& col = cols_[j];
+      double d = phase_cost_[j];
+      for (std::size_t k = 0; k < col.rows.size(); ++k)
+        d -= y_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+
+      int dir = 0;
+      double score = 0.0;
+      if ((st == NonbasicState::AtLower || st == NonbasicState::AtZero) &&
+          d < -tol) {
+        dir = +1;
+        score = -d;
+      } else if ((st == NonbasicState::AtUpper || st == NonbasicState::AtZero) &&
+                 d > tol) {
+        dir = -1;
+        score = d;
+      } else {
+        continue;
+      }
+      if (use_bland_) {
+        entering = static_cast<int>(j);
+        direction = dir;
+        break;  // Bland: first eligible index.
+      }
+      if (score > best_score) {
+        best_score = score;
+        entering = static_cast<int>(j);
+        direction = dir;
+      }
+    }
+    if (entering < 0) return LoopResult::Optimal;
+
+    const auto eu = static_cast<std::size_t>(entering);
+    ftran(cols_[eu], w_);
+
+    // --- ratio test --------------------------------------------------------
+    // The entering variable moves by t >= 0 in `direction`; basic variable i
+    // changes at rate -direction * w_[i].
+    double t_max = ub_[eu] - lb_[eu];  // own-bound flip distance (may be inf)
+    int leaving = -1;
+    bool leaving_to_upper = false;
+    for (std::size_t i = 0; i < mu; ++i) {
+      const double rate = -static_cast<double>(direction) * w_[i];
+      if (std::abs(rate) <= tol) continue;
+      const auto bj = static_cast<std::size_t>(basis_[i]);
+      double limit;
+      bool to_upper;
+      if (rate > 0.0) {
+        if (!std::isfinite(ub_[bj])) continue;
+        limit = (ub_[bj] - xb_[i]) / rate;
+        to_upper = true;
+      } else {
+        if (!std::isfinite(lb_[bj])) continue;
+        limit = (lb_[bj] - xb_[i]) / rate;
+        to_upper = false;
+      }
+      limit = std::max(limit, 0.0);
+      if (limit < t_max - tol ||
+          (leaving >= 0 && limit < t_max + tol &&
+           (use_bland_ ? basis_[i] < basis_[static_cast<std::size_t>(leaving)]
+                       : std::abs(w_[i]) >
+                             std::abs(w_[static_cast<std::size_t>(leaving)])))) {
+        t_max = limit;
+        leaving = static_cast<int>(i);
+        leaving_to_upper = to_upper;
+      }
+    }
+
+    if (!std::isfinite(t_max)) {
+      // In phase 1 the objective (sum of artificials) is bounded below by 0,
+      // so unboundedness can only mean the true LP is unbounded in phase 2.
+      return LoopResult::Unbounded;
+    }
+
+    // --- update ------------------------------------------------------------
+    const double t = t_max;
+    for (std::size_t i = 0; i < mu; ++i)
+      xb_[i] -= static_cast<double>(direction) * t * w_[i];
+
+    const double enter_start =
+        state_[eu] == NonbasicState::AtLower
+            ? lb_[eu]
+            : (state_[eu] == NonbasicState::AtUpper ? ub_[eu] : 0.0);
+    const double enter_value = enter_start + static_cast<double>(direction) * t;
+
+    if (leaving < 0) {
+      // Bound flip: entering moves across to its opposite bound.
+      state_[eu] = direction > 0 ? NonbasicState::AtUpper : NonbasicState::AtLower;
+      continue;
+    }
+
+    const auto lu = static_cast<std::size_t>(leaving);
+    const auto out_col = static_cast<std::size_t>(basis_[lu]);
+    state_[out_col] =
+        leaving_to_upper ? NonbasicState::AtUpper : NonbasicState::AtLower;
+    basis_[lu] = entering;
+    state_[eu] = NonbasicState::Basic;
+    xb_[lu] = enter_value;
+
+    // Product-form update of binv_: pivot on w_[leaving].
+    const double piv = w_[lu];
+    if (std::abs(piv) < 1e-11) {
+      refactorize();
+      since_refactor = 0;
+      continue;
+    }
+    const double inv_piv = 1.0 / piv;
+    for (std::size_t k = 0; k < mu; ++k) binv_[lu * mu + k] *= inv_piv;
+    for (std::size_t i = 0; i < mu; ++i) {
+      if (i == lu) continue;
+      const double f = w_[i];
+      if (f == 0.0) continue;
+      for (std::size_t k = 0; k < mu; ++k)
+        binv_[i * mu + k] -= f * binv_[lu * mu + k];
+    }
+  }
+}
+
+Solution SimplexSolver::solve() {
+  std::vector<double> lower(static_cast<std::size_t>(n_struct_));
+  std::vector<double> upper(static_cast<std::size_t>(n_struct_));
+  for (int j = 0; j < n_struct_; ++j) {
+    lower[static_cast<std::size_t>(j)] = base_lb_[static_cast<std::size_t>(j)];
+    upper[static_cast<std::size_t>(j)] = base_ub_[static_cast<std::size_t>(j)];
+  }
+  return solve_with_bounds(lower, upper);
+}
+
+Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
+                                          const std::vector<double>& upper) {
+  const util::Stopwatch watch;
+  Solution sol;
+  if (lower.size() != static_cast<std::size_t>(n_struct_) ||
+      upper.size() != static_cast<std::size_t>(n_struct_))
+    throw std::invalid_argument("SimplexSolver: bound vector size mismatch");
+  for (int j = 0; j < n_struct_; ++j) {
+    if (lower[static_cast<std::size_t>(j)] >
+        upper[static_cast<std::size_t>(j)] + options_.feasibility_tolerance) {
+      sol.status = Status::Infeasible;
+      sol.solve_seconds = watch.elapsed_seconds();
+      return sol;
+    }
+  }
+
+  if (m_ == 0) {
+    // Pure bound problem: each variable sits at its cheapest finite bound.
+    sol.values.assign(static_cast<std::size_t>(n_struct_), 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const double c = cost_[ju];
+      double v;
+      if (c > 0.0) {
+        if (!std::isfinite(lower[ju])) {
+          sol.status = Status::Unbounded;
+          return sol;
+        }
+        v = lower[ju];
+      } else if (c < 0.0) {
+        if (!std::isfinite(upper[ju])) {
+          sol.status = Status::Unbounded;
+          return sol;
+        }
+        v = upper[ju];
+      } else {
+        v = std::isfinite(lower[ju]) ? lower[ju]
+                                     : (std::isfinite(upper[ju]) ? upper[ju] : 0.0);
+      }
+      sol.values[ju] = v;
+      sol.objective += c * v;
+    }
+    sol.status = Status::Optimal;
+    sol.best_bound = sol.objective;
+    sol.solve_seconds = watch.elapsed_seconds();
+    return sol;
+  }
+
+  reset_state(lower, upper);
+  install_initial_basis();
+
+  // ---- Phase 1: drive artificial columns to zero ---------------------------
+  if (n_art_ > 0) {
+    const LoopResult r = run_simplex(/*phase1=*/true);
+    sol.simplex_iterations = iterations_this_solve_;
+    if (r == LoopResult::IterationLimit) {
+      sol.status = Status::IterationLimit;
+      sol.solve_seconds = watch.elapsed_seconds();
+      return sol;
+    }
+    double infeas = 0.0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m_); ++i)
+      if (basis_[i] >= n_struct_ + n_logic_) infeas += std::abs(xb_[i]);
+    for (std::size_t j = static_cast<std::size_t>(n_struct_ + n_logic_);
+         j < cols_.size(); ++j)
+      if (state_[j] == NonbasicState::AtUpper) infeas += std::abs(ub_[j]);
+    if (infeas > 1e-6) {
+      sol.status = Status::Infeasible;
+      sol.solve_seconds = watch.elapsed_seconds();
+      return sol;
+    }
+    // Freeze artificials at zero for phase 2.
+    for (std::size_t j = static_cast<std::size_t>(n_struct_ + n_logic_);
+         j < cols_.size(); ++j) {
+      ub_[j] = 0.0;
+      if (state_[j] == NonbasicState::AtUpper) state_[j] = NonbasicState::AtLower;
+    }
+  }
+
+  // ---- Phase 2: true objective ---------------------------------------------
+  phase_cost_ = cost_;
+  const LoopResult r2 = run_simplex(/*phase1=*/false);
+  sol.simplex_iterations = iterations_this_solve_;
+  sol.solve_seconds = watch.elapsed_seconds();
+  if (r2 == LoopResult::Unbounded) {
+    sol.status = Status::Unbounded;
+    return sol;
+  }
+  if (r2 == LoopResult::IterationLimit) {
+    sol.status = Status::IterationLimit;
+    return sol;
+  }
+
+  // Extract the structural solution.
+  sol.values.assign(static_cast<std::size_t>(n_struct_), 0.0);
+  for (int j = 0; j < n_struct_; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (state_[ju] != NonbasicState::Basic)
+      sol.values[ju] = nonbasic_value(j);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m_); ++i) {
+    if (basis_[i] < n_struct_)
+      sol.values[static_cast<std::size_t>(basis_[i])] = xb_[i];
+  }
+  // Snap tiny bound violations introduced by floating point.
+  for (int j = 0; j < n_struct_; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    sol.values[ju] = std::clamp(sol.values[ju], lb_[ju], ub_[ju]);
+  }
+  sol.objective = 0.0;
+  for (int j = 0; j < n_struct_; ++j)
+    sol.objective += cost_[static_cast<std::size_t>(j)] *
+                     sol.values[static_cast<std::size_t>(j)];
+
+  // Duals and reduced costs from the final basis (phase-2 costs).
+  {
+    const auto mu = static_cast<std::size_t>(m_);
+    std::vector<double> cb(mu);
+    for (std::size_t i = 0; i < mu; ++i)
+      cb[i] = cost_[static_cast<std::size_t>(basis_[i])];
+    btran(cb, y_);
+    sol.duals.assign(y_.begin(), y_.end());
+    sol.reduced_costs.assign(static_cast<std::size_t>(n_struct_), 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      double d = cost_[ju];
+      const auto& col = cols_[ju];
+      for (std::size_t k = 0; k < col.rows.size(); ++k)
+        d -= y_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+      sol.reduced_costs[ju] = d;
+    }
+  }
+
+  sol.status = Status::Optimal;
+  sol.has_incumbent = true;
+  sol.best_bound = sol.objective;
+  return sol;
+}
+
+}  // namespace ww::milp

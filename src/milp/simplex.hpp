@@ -1,0 +1,94 @@
+// Bounded-variable revised primal simplex.
+//
+// Linear programs are solved in the standard computational form
+//   min c^T x   s.t.  A x = b,   l <= x <= u,
+// built by appending one logical (slack) column per row.  Phase 1 introduces
+// artificial columns only for rows whose logical value falls outside its
+// bounds and minimizes their sum; phase 2 minimizes the true objective with
+// artificials fixed at zero.  The basis inverse is kept as a dense matrix
+// updated by product-form pivots and refactorized periodically for numeric
+// hygiene.  Dantzig pricing with an automatic switch to Bland's rule
+// guarantees termination on degenerate instances.
+//
+// The solver pre-builds the standard form once per Model; branch-and-bound
+// re-solves with per-node bound overrides without rebuilding.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "milp/model.hpp"
+#include "milp/solution.hpp"
+
+namespace ww::milp {
+
+class SimplexSolver {
+ public:
+  SimplexSolver(const Model& model, SolverOptions options = {});
+
+  /// Solves the LP relaxation (integrality ignored).
+  [[nodiscard]] Solution solve();
+
+  /// Solves with overridden bounds on structural variables (used by
+  /// branch-and-bound).  Vectors must have size num_variables().
+  [[nodiscard]] Solution solve_with_bounds(const std::vector<double>& lower,
+                                           const std::vector<double>& upper);
+
+ private:
+  struct SparseColumn {
+    std::vector<int> rows;
+    std::vector<double> values;
+  };
+  enum class NonbasicState : unsigned char { AtLower, AtUpper, AtZero, Basic };
+
+  // --- setup -------------------------------------------------------------
+  void build_standard_form(const Model& model);
+  void reset_state(const std::vector<double>& lower,
+                   const std::vector<double>& upper);
+  void install_initial_basis();
+
+  // --- linear algebra ----------------------------------------------------
+  void refactorize();                                  ///< Rebuild binv_, xb_.
+  void ftran(const SparseColumn& col, std::vector<double>& out) const;
+  void btran(const std::vector<double>& cb, std::vector<double>& out) const;
+  void recompute_basic_values();
+
+  // --- simplex core ------------------------------------------------------
+  /// Runs the simplex loop with the current cost vector; returns the phase
+  /// outcome.  `phase1` enables artificial bookkeeping.
+  enum class LoopResult { Optimal, Unbounded, IterationLimit };
+  LoopResult run_simplex(bool phase1);
+
+  [[nodiscard]] double nonbasic_value(int j) const;
+  [[nodiscard]] double column_objective(int j) const;
+
+  // Problem dimensions.
+  int m_ = 0;        ///< Rows.
+  int n_struct_ = 0; ///< Structural columns.
+  int n_logic_ = 0;  ///< Logical (slack) columns.
+  int n_art_ = 0;    ///< Artificial columns (appended at solve time).
+
+  std::vector<SparseColumn> cols_;  ///< struct + logic + artificial columns.
+  std::vector<double> rhs_;
+  std::vector<double> cost_;       ///< Phase-2 objective per column.
+  std::vector<double> phase_cost_; ///< Active objective per column.
+  std::vector<double> lb_, ub_;    ///< Active bounds per column.
+  std::vector<double> base_lb_, base_ub_;  ///< Model bounds (logic included).
+
+  // Basis state.
+  std::vector<int> basis_;              ///< Column index per row.
+  std::vector<NonbasicState> state_;    ///< Per column.
+  std::vector<double> binv_;            ///< Dense m x m row-major B^{-1}.
+  std::vector<double> xb_;              ///< Basic variable values.
+
+  SolverOptions options_;
+  long iterations_ = 0;
+  long iterations_this_solve_ = 0;
+  bool use_bland_ = false;
+
+  // Scratch buffers reused across iterations.
+  std::vector<double> y_;  ///< Duals.
+  std::vector<double> w_;  ///< Pivot column in basis coordinates.
+};
+
+}  // namespace ww::milp

@@ -1,0 +1,63 @@
+// Solver status and solution types shared by the LP and MILP layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ww::milp {
+
+enum class Status {
+  Optimal,          ///< Proven optimal (LP) or tree exhausted with incumbent.
+  Infeasible,       ///< No feasible point exists.
+  Unbounded,        ///< Objective unbounded below.
+  IterationLimit,   ///< Simplex iteration limit hit.
+  NodeLimit,        ///< Branch-and-bound node/time limit; `values` holds the
+                    ///< best incumbent if `has_incumbent`.
+};
+
+[[nodiscard]] std::string to_string(Status s);
+
+struct Solution {
+  Status status = Status::Infeasible;
+  bool has_incumbent = false;  ///< True when `values` holds a feasible point.
+  double objective = 0.0;
+  std::vector<double> values;
+
+  /// LP-only diagnostics (populated by SimplexSolver, empty after
+  /// branch-and-bound): one dual multiplier per constraint row and one
+  /// reduced cost per structural variable.  They satisfy the identity
+  ///   objective == duals . rhs + sum_j reduced_cost_j * x_j
+  ///                + sum_i (-duals_i) * slack_i
+  /// and the usual optimality signs (>= 0 at lower bound, <= 0 at upper).
+  std::vector<double> duals;
+  std::vector<double> reduced_costs;
+
+  // Diagnostics.
+  long simplex_iterations = 0;
+  long nodes_explored = 0;
+  double best_bound = 0.0;  ///< Proven lower bound on the optimum.
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] bool is_optimal() const noexcept {
+    return status == Status::Optimal;
+  }
+  /// True when `values` can be used as a (possibly suboptimal) answer.
+  [[nodiscard]] bool usable() const noexcept {
+    return status == Status::Optimal || has_incumbent;
+  }
+};
+
+struct SolverOptions {
+  double pivot_tolerance = 1e-9;       ///< Reduced-cost / pivot threshold.
+  double feasibility_tolerance = 1e-7; ///< Bound/row violation acceptance.
+  double integrality_tolerance = 1e-6; ///< |x - round(x)| for integer vars.
+  long max_iterations = 200000;        ///< Simplex iterations per LP solve.
+  long max_nodes = 200000;             ///< Branch-and-bound node budget.
+  double time_limit_seconds = 120.0;   ///< Wall-clock budget for the tree.
+  double mip_gap_abs = 1e-9;           ///< Prune nodes within this of the
+                                       ///< incumbent (absolute).
+  double mip_gap_rel = 1e-6;           ///< ... or within this fraction.
+  int refactor_interval = 64;          ///< Basis refactorization cadence.
+};
+
+}  // namespace ww::milp

@@ -1,0 +1,41 @@
+// Carbon/water-unaware scheduling policies (Sec. 5 "Relevant Techniques").
+//
+//  * Baseline    — every job runs in its home region as soon as a server is
+//                  free; no migration, no intentional delay.  All savings in
+//                  the paper (and in our benches) are reported against it.
+//  * Round-Robin — cycles regions in order, skipping full ones.
+//  * Least-Load  — picks the region with the most free servers.
+#pragma once
+
+#include "dc/scheduler.hpp"
+
+namespace ww::sched {
+
+class BaselineScheduler final : public dc::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Baseline"; }
+  [[nodiscard]] std::vector<dc::Decision> schedule(
+      const std::vector<dc::PendingJob>& batch,
+      const dc::ScheduleContext& ctx) override;
+};
+
+class RoundRobinScheduler final : public dc::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Round-Robin"; }
+  [[nodiscard]] std::vector<dc::Decision> schedule(
+      const std::vector<dc::PendingJob>& batch,
+      const dc::ScheduleContext& ctx) override;
+
+ private:
+  int cursor_ = 0;
+};
+
+class LeastLoadScheduler final : public dc::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Least-Load"; }
+  [[nodiscard]] std::vector<dc::Decision> schedule(
+      const std::vector<dc::PendingJob>& batch,
+      const dc::ScheduleContext& ctx) override;
+};
+
+}  // namespace ww::sched

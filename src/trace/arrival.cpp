@@ -1,0 +1,60 @@
+#include "trace/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ww::trace {
+
+double diurnal_factor(DiurnalShape shape, double swing, double peak_hour,
+                      double t_seconds) {
+  const double hour = std::fmod(t_seconds / 3600.0, 24.0);
+  switch (shape) {
+    case DiurnalShape::Flat:
+      return 1.0;
+    case DiurnalShape::SinglePeak:
+      return 1.0 + swing * std::cos(2.0 * M_PI * (hour - peak_hour) / 24.0);
+    case DiurnalShape::DoublePeak: {
+      // Two peaks 10 hours apart; mean of the cosine pair is zero.
+      const double a = std::cos(2.0 * M_PI * (hour - peak_hour) / 24.0);
+      const double b = std::cos(2.0 * M_PI * (hour - (peak_hour - 10.0)) / 24.0);
+      return 1.0 + 0.5 * swing * (a + b);
+    }
+  }
+  return 1.0;
+}
+
+std::vector<double> generate_arrivals(const ArrivalConfig& config,
+                                      double horizon_seconds, util::Rng rng) {
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(
+      std::max(16.0, config.base_rate_per_s * horizon_seconds * 1.1)));
+
+  // Upper bound on the instantaneous rate, for thinning.
+  const double rate_max = config.base_rate_per_s *
+                          (1.0 + config.diurnal_swing) *
+                          std::max(config.burst_rate_multiplier, 1.0);
+
+  // MMPP state evolves on its own exponential clock.
+  bool bursting = false;
+  double state_until = rng.exponential(1.0 / config.mean_calm_seconds);
+
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_max);
+    if (t >= horizon_seconds) break;
+    while (t > state_until) {
+      bursting = !bursting;
+      state_until += rng.exponential(
+          1.0 / (bursting ? config.mean_burst_seconds : config.mean_calm_seconds));
+    }
+    const double mult =
+        bursting ? config.burst_rate_multiplier : config.calm_rate_multiplier;
+    const double rate = config.base_rate_per_s * mult *
+                        diurnal_factor(config.shape, config.diurnal_swing,
+                                       config.peak_hour, t);
+    if (rng.uniform() * rate_max < rate) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace ww::trace

@@ -1,0 +1,119 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace ww::trace {
+
+TraceConfig borg_config(std::uint64_t seed, double days) {
+  TraceConfig c;
+  c.seed = seed;
+  c.days = days;
+  // 230,000 jobs over 10 days ~= 0.2662 jobs/s.
+  c.arrival.base_rate_per_s = 230000.0 / (10.0 * 86400.0);
+  c.arrival.shape = DiurnalShape::SinglePeak;
+  c.arrival.diurnal_swing = 0.45;
+  c.arrival.peak_hour = 14.0;
+  c.arrival.burst_rate_multiplier = 2.2;
+  c.arrival.calm_rate_multiplier = 0.65;
+  // Submission skews toward the large-population regions.
+  c.region_weights = {0.15, 0.18, 0.30, 0.15, 0.22};
+  return c;
+}
+
+TraceConfig alibaba_config(std::uint64_t seed, double days) {
+  TraceConfig c;
+  c.seed = seed;
+  c.days = days;
+  c.arrival.base_rate_per_s = 8.5 * 230000.0 / (10.0 * 86400.0);
+  c.arrival.shape = DiurnalShape::DoublePeak;
+  c.arrival.diurnal_swing = 0.6;
+  c.arrival.peak_hour = 20.0;  // evening peak (Asia-centric usage)
+  c.arrival.burst_rate_multiplier = 3.0;
+  c.arrival.calm_rate_multiplier = 0.55;
+  c.arrival.mean_burst_seconds = 900.0;
+  c.arrival.mean_calm_seconds = 3600.0;
+  // Short-lived VM-style invocations keep utilization comparable despite the
+  // 8.5x request rate.
+  c.exec_scale = 1.0 / 8.5;
+  c.region_weights = {0.10, 0.12, 0.18, 0.10, 0.50};
+  return c;
+}
+
+std::vector<Job> generate_trace(const TraceConfig& config) {
+  if (config.num_regions <= 0)
+    throw std::invalid_argument("generate_trace: need at least one region");
+  util::Rng root(config.seed);
+
+  ArrivalConfig arrival = config.arrival;
+  arrival.base_rate_per_s *= config.rate_multiplier;
+  const double horizon = config.days * 86400.0;
+  const std::vector<double> times =
+      generate_arrivals(arrival, horizon, root.child("arrivals"));
+
+  std::vector<double> weights = config.region_weights;
+  if (weights.empty())
+    weights.assign(static_cast<std::size_t>(config.num_regions), 1.0);
+  if (static_cast<int>(weights.size()) != config.num_regions)
+    throw std::invalid_argument(
+        "generate_trace: region_weights size must match num_regions");
+
+  util::Rng rng = root.child("jobs");
+  std::vector<Job> jobs;
+  jobs.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    Job j;
+    j.id = static_cast<std::uint64_t>(i);
+    j.submit_time = times[i];
+    j.home_region = static_cast<int>(rng.weighted_index(weights));
+    const int bench =
+        static_cast<int>(rng.uniform_int(0, num_benchmarks() - 1));
+    sample_instance(bench, rng, j);
+    j.exec_seconds *= config.exec_scale;
+    jobs.push_back(j);
+  }
+  return jobs;  // arrival thinning emits times in increasing order
+}
+
+void write_trace_csv(std::ostream& out, const std::vector<Job>& jobs) {
+  util::CsvWriter w(out);
+  w.write_row({"id", "submit_time", "home_region", "benchmark", "exec_seconds",
+               "avg_power_watts", "package_bytes"});
+  for (const Job& j : jobs) {
+    w.write_row({std::to_string(j.id), util::format_double(j.submit_time),
+                 std::to_string(j.home_region), std::to_string(j.benchmark),
+                 util::format_double(j.exec_seconds),
+                 util::format_double(j.avg_power_watts),
+                 util::format_double(j.package_bytes)});
+  }
+}
+
+std::vector<Job> read_trace_csv(std::istream& in) {
+  const util::CsvReader reader(in);
+  const auto& rows = reader.rows();
+  if (rows.empty()) return {};
+  std::vector<Job> jobs;
+  jobs.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& r = rows[i];
+    if (r.size() < 7)
+      throw std::runtime_error("read_trace_csv: malformed row");
+    Job j;
+    j.id = std::stoull(r[0]);
+    j.submit_time = std::stod(r[1]);
+    j.home_region = std::stoi(r[2]);
+    j.benchmark = std::stoi(r[3]);
+    j.exec_seconds = std::stod(r[4]);
+    j.avg_power_watts = std::stod(r[5]);
+    j.package_bytes = std::stod(r[6]);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace ww::trace

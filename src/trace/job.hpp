@@ -1,0 +1,24 @@
+// Job record: what a trace entry carries into the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace ww::trace {
+
+struct Job {
+  std::uint64_t id = 0;
+  double submit_time = 0.0;    ///< Seconds since campaign start.
+  int home_region = 0;         ///< Region where the user submitted the job.
+  int benchmark = 0;           ///< Index into the benchmark-profile table.
+  double exec_seconds = 0.0;   ///< True execution time (hardware-uniform
+                               ///< across regions, per the paper).
+  double avg_power_watts = 0.0;///< True average power draw while running.
+  double package_bytes = 0.0;  ///< .tar size moved on cross-region transfer.
+
+  /// True IT energy of the job, kWh.
+  [[nodiscard]] double energy_kwh() const noexcept {
+    return avg_power_watts * exec_seconds / 3.6e6;
+  }
+};
+
+}  // namespace ww::trace

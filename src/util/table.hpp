@@ -1,0 +1,34 @@
+// Aligned console tables: the benchmark harness prints paper-style rows with
+// this helper so every bench produces consistent, diffable output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ww::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> row);
+  /// Numeric convenience; `precision` digits after the decimal point.
+  Table& add_row_numeric(const std::string& label,
+                         const std::vector<double>& values, int precision = 2);
+
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with fixed precision (helper shared with benches).
+  static std::string fixed(double v, int precision = 2);
+  /// Formats a percentage like "12.34%".
+  static std::string pct(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ww::util

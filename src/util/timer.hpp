@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used to measure scheduler decision-making overhead
+// (Fig. 13 of the paper reports it as a fraction of mean job execution time).
+#pragma once
+
+#include <chrono>
+
+namespace ww::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ww::util

@@ -1,0 +1,109 @@
+// Sec. 7 extension objectives: cost and performance weights.
+#include <gtest/gtest.h>
+
+#include "core/waterwise.hpp"
+#include "dc/simulator.hpp"
+#include "sched/basic.hpp"
+#include "trace/generator.hpp"
+
+namespace ww::core {
+namespace {
+
+env::EnvironmentConfig small_env() {
+  env::EnvironmentConfig cfg;
+  cfg.horizon_days = 5;
+  return cfg;
+}
+
+struct Rig {
+  env::Environment env = env::Environment::builtin(small_env());
+  footprint::FootprintModel fp{env};
+  std::vector<trace::Job> jobs =
+      trace::generate_trace(trace::borg_config(13, 0.1));
+
+  dc::CampaignResult run(dc::Scheduler& s) {
+    dc::SimConfig cfg;
+    cfg.tol = 0.5;
+    dc::Simulator sim(env, fp, cfg);
+    return sim.run(jobs, s);
+  }
+};
+
+TEST(Extensions, ElectricityPriceModel) {
+  const env::Environment env = env::Environment::builtin(small_env());
+  for (int r = 0; r < env.num_regions(); ++r) {
+    double lo = 1e18;
+    double hi = 0.0;
+    for (int h = 0; h < 48; ++h) {
+      const double p = env.electricity_price(r, h * 3600.0);
+      EXPECT_GT(p, 0.0);
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    // Time-of-use swing ~ +-25% around the base tariff.
+    EXPECT_NEAR(hi / lo, 1.25 / 0.75, 0.05);
+    EXPECT_NEAR(0.5 * (hi + lo), env.region(r).price_usd_per_kwh, 0.01);
+  }
+}
+
+TEST(Extensions, LedgerTracksCost) {
+  Rig rig;
+  sched::BaselineScheduler baseline;
+  const auto res = rig.run(baseline);
+  EXPECT_GT(res.total_cost_usd, 0.0);
+  // Sanity scale: jobs * mean energy * PUE * ~0.1 USD/kWh.
+  const double per_job = res.total_cost_usd / static_cast<double>(res.num_jobs);
+  EXPECT_GT(per_job, 1e-4);
+  EXPECT_LT(per_job, 0.1);
+}
+
+TEST(Extensions, CostWeightReducesCost) {
+  Rig rig;
+  WaterWiseConfig plain;
+  WaterWiseConfig costy;
+  costy.lambda_cost = 2.0;
+  WaterWiseScheduler ww_plain(plain);
+  WaterWiseScheduler ww_cost(costy);
+  const auto r_plain = rig.run(ww_plain);
+  const auto r_cost = rig.run(ww_cost);
+  EXPECT_LT(r_cost.total_cost_usd, r_plain.total_cost_usd * 1.001);
+}
+
+TEST(Extensions, PerfWeightReducesServiceTime) {
+  Rig rig;
+  WaterWiseConfig plain;
+  WaterWiseConfig perfy;
+  perfy.lambda_perf = 2.0;
+  WaterWiseScheduler ww_plain(plain);
+  WaterWiseScheduler ww_perf(perfy);
+  const auto r_plain = rig.run(ww_plain);
+  const auto r_perf = rig.run(ww_perf);
+  EXPECT_LE(r_perf.mean_service_norm(), r_plain.mean_service_norm() + 1e-9);
+}
+
+TEST(Extensions, DefaultsPreservePaperObjective) {
+  // lambda_cost = lambda_perf = 0 must reproduce the unextended scheduler
+  // bit-for-bit.
+  Rig rig;
+  WaterWiseConfig a;
+  WaterWiseConfig b;
+  b.lambda_cost = 0.0;
+  b.lambda_perf = 0.0;
+  WaterWiseScheduler ww_a(a);
+  WaterWiseScheduler ww_b(b);
+  const auto r_a = rig.run(ww_a);
+  const auto r_b = rig.run(ww_b);
+  EXPECT_DOUBLE_EQ(r_a.total_carbon_g, r_b.total_carbon_g);
+  EXPECT_EQ(r_a.jobs_per_region, r_b.jobs_per_region);
+}
+
+TEST(Extensions, CostSavingMetric) {
+  dc::CampaignResult base;
+  base.total_cost_usd = 100.0;
+  dc::CampaignResult cheap;
+  cheap.total_cost_usd = 80.0;
+  EXPECT_NEAR(cheap.cost_saving_pct_vs(base), 20.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ww::core

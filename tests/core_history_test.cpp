@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+
+namespace ww::core {
+namespace {
+
+TEST(HistoryLearner, ZeroBeforeObservations) {
+  const HistoryLearner h(3, 10);
+  EXPECT_DOUBLE_EQ(h.carbon_ref(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.water_ref(2), 0.0);
+  EXPECT_EQ(h.observations(), 0);
+}
+
+TEST(HistoryLearner, NormalizesByBatchMax) {
+  HistoryLearner h(3, 10);
+  h.observe({100.0, 50.0, 25.0}, {2.0, 4.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.carbon_ref(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.carbon_ref(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.carbon_ref(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.water_ref(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.water_ref(0), 0.5);
+}
+
+TEST(HistoryLearner, WindowMean) {
+  HistoryLearner h(2, 10);
+  h.observe({1.0, 0.0}, {1.0, 1.0});
+  h.observe({0.0, 1.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.carbon_ref(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.carbon_ref(1), 0.5);
+}
+
+TEST(HistoryLearner, WindowEvictsOldest) {
+  HistoryLearner h(1, 3);
+  h.observe({1.0}, {1.0});
+  h.observe({1.0}, {1.0});
+  h.observe({1.0}, {1.0});
+  EXPECT_EQ(h.observations(), 3);
+  // A fourth observation evicts the first; window stays at 3.
+  h.observe({1.0}, {1.0});
+  EXPECT_EQ(h.observations(), 3);
+}
+
+TEST(HistoryLearner, SlidingWindowTracksRegimeChange) {
+  HistoryLearner h(2, 4);
+  for (int i = 0; i < 4; ++i) h.observe({1.0, 0.2}, {1.0, 1.0});
+  EXPECT_GT(h.carbon_ref(0), h.carbon_ref(1));
+  // Regime flips; after a full window the ordering follows.
+  for (int i = 0; i < 4; ++i) h.observe({0.2, 1.0}, {1.0, 1.0});
+  EXPECT_LT(h.carbon_ref(0), h.carbon_ref(1));
+}
+
+TEST(HistoryLearner, AllZeroObservationIsSafe) {
+  HistoryLearner h(2, 4);
+  h.observe({0.0, 0.0}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(h.carbon_ref(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.water_ref(1), 0.0);
+}
+
+TEST(HistoryLearner, Validation) {
+  EXPECT_THROW(HistoryLearner(0, 5), std::invalid_argument);
+  EXPECT_THROW(HistoryLearner(3, 0), std::invalid_argument);
+  HistoryLearner h(2, 4);
+  EXPECT_THROW(h.observe({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ww::core

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "dc/simulator.hpp"
+#include "sched/basic.hpp"
+#include "trace/generator.hpp"
+
+namespace ww::dc {
+namespace {
+
+env::EnvironmentConfig small_env() {
+  env::EnvironmentConfig cfg;
+  cfg.horizon_days = 10;
+  return cfg;
+}
+
+std::vector<trace::Job> small_trace(std::uint64_t seed = 3,
+                                    double days = 0.15) {
+  return trace::generate_trace(trace::borg_config(seed, days));
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  env::Environment env_ = env::Environment::builtin(small_env());
+  footprint::FootprintModel fp_{env_};
+};
+
+TEST_F(SimulatorTest, AllJobsRunExactlyOnce) {
+  const auto jobs = small_trace();
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  EXPECT_EQ(res.num_jobs, static_cast<long>(jobs.size()));
+  long placed = 0;
+  for (const long c : res.jobs_per_region) placed += c;
+  EXPECT_EQ(placed, res.num_jobs);
+}
+
+TEST_F(SimulatorTest, BaselineStaysHome) {
+  const auto jobs = small_trace();
+  SimConfig cfg;
+  cfg.record_jobs = true;
+  Simulator sim(env_, fp_, cfg);
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  ASSERT_EQ(res.jobs.size(), jobs.size());
+  for (const JobOutcome& o : res.jobs) EXPECT_EQ(o.exec_region, o.home_region);
+  EXPECT_DOUBLE_EQ(res.transfer_carbon_g, 0.0);
+}
+
+TEST_F(SimulatorTest, BaselineHasNoViolationsAtPaperUtilization) {
+  // Table 2 row 1: the Baseline never violates delay tolerance at ~15% util.
+  const auto jobs = small_trace();
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  EXPECT_EQ(res.violations, 0);
+  EXPECT_NEAR(res.mean_service_norm(), 1.0, 0.05);
+}
+
+TEST_F(SimulatorTest, ServiceTimeNeverBelowExecution) {
+  const auto jobs = small_trace(5);
+  SimConfig cfg;
+  cfg.record_jobs = true;
+  Simulator sim(env_, fp_, cfg);
+  sched::RoundRobinScheduler rr;
+  const CampaignResult res = sim.run(jobs, rr);
+  for (const JobOutcome& o : res.jobs) {
+    EXPECT_GE(o.finish_time - o.submit_time, o.exec_seconds * 0.999);
+    EXPECT_GE(o.start_time, o.submit_time);
+  }
+}
+
+TEST_F(SimulatorTest, DeterministicAcrossRuns) {
+  const auto jobs = small_trace(7);
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::LeastLoadScheduler a;
+  sched::LeastLoadScheduler b;
+  const CampaignResult r1 = sim.run(jobs, a);
+  const CampaignResult r2 = sim.run(jobs, b);
+  EXPECT_DOUBLE_EQ(r1.total_carbon_g, r2.total_carbon_g);
+  EXPECT_DOUBLE_EQ(r1.total_water_l, r2.total_water_l);
+  EXPECT_EQ(r1.jobs_per_region, r2.jobs_per_region);
+  EXPECT_EQ(r1.violations, r2.violations);
+}
+
+TEST_F(SimulatorTest, CapacityNeverExceeded) {
+  // Tiny capacity forces queueing; verify occupancy via recorded intervals.
+  const auto jobs = small_trace(9, 0.05);
+  SimConfig cfg;
+  cfg.capacity_scale = 0.06;  // ~2 servers per region
+  cfg.record_jobs = true;
+  Simulator sim(env_, fp_, cfg);
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  ASSERT_EQ(res.num_jobs, static_cast<long>(jobs.size()));
+  const std::vector<int> caps = sim.region_capacities();
+  // Event-sweep max concurrency per region.
+  for (int r = 0; r < 5; ++r) {
+    std::vector<std::pair<double, int>> events;
+    for (const JobOutcome& o : res.jobs) {
+      if (o.exec_region != r) continue;
+      events.emplace_back(o.start_time, +1);
+      events.emplace_back(o.finish_time, -1);
+    }
+    std::sort(events.begin(), events.end());  // -1 sorts before +1 at ties
+    int running = 0;
+    int peak = 0;
+    for (const auto& [t, d] : events) {
+      running += d;
+      peak = std::max(peak, running);
+    }
+    EXPECT_LE(peak, caps[static_cast<std::size_t>(r)]) << "region " << r;
+  }
+}
+
+TEST_F(SimulatorTest, QueueingCausesViolationsUnderPressure) {
+  const auto jobs = small_trace(11, 0.05);
+  SimConfig cfg;
+  cfg.capacity_scale = 0.03;  // ~1 server per region: heavy pressure
+  Simulator sim(env_, fp_, cfg);
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  EXPECT_GT(res.mean_service_norm(), 1.0);
+}
+
+TEST_F(SimulatorTest, FootprintsArePositiveAndDecomposed) {
+  const auto jobs = small_trace(13);
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  EXPECT_GT(res.total_carbon_g, 0.0);
+  EXPECT_GT(res.total_water_l, 0.0);
+  EXPECT_GT(res.embodied_carbon_g, 0.0);
+  EXPECT_LT(res.embodied_carbon_g, res.total_carbon_g);
+  EXPECT_GT(res.makespan_seconds, 0.0);
+}
+
+TEST_F(SimulatorTest, OverheadSeriesRecorded) {
+  const auto jobs = small_trace(15, 0.05);
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run(jobs, baseline);
+  EXPECT_FALSE(res.overhead_series.empty());
+  EXPECT_GE(res.decision_seconds_total, 0.0);
+}
+
+TEST_F(SimulatorTest, RejectsUnsortedTrace) {
+  auto jobs = small_trace(17, 0.02);
+  ASSERT_GE(jobs.size(), 2u);
+  std::swap(jobs.front().submit_time, jobs.back().submit_time);
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::BaselineScheduler baseline;
+  EXPECT_THROW((void)sim.run(jobs, baseline), std::invalid_argument);
+}
+
+TEST_F(SimulatorTest, EmptyTrace) {
+  Simulator sim(env_, fp_, SimConfig{});
+  sched::BaselineScheduler baseline;
+  const CampaignResult res = sim.run({}, baseline);
+  EXPECT_EQ(res.num_jobs, 0);
+  EXPECT_DOUBLE_EQ(res.total_carbon_g, 0.0);
+}
+
+TEST_F(SimulatorTest, ConfigValidation) {
+  SimConfig bad;
+  bad.batch_window_s = 0.0;
+  EXPECT_THROW(Simulator(env_, fp_, bad), std::invalid_argument);
+  SimConfig neg;
+  neg.tol = -0.5;
+  EXPECT_THROW(Simulator(env_, fp_, neg), std::invalid_argument);
+}
+
+TEST_F(SimulatorTest, CapacityScaleChangesServerCounts) {
+  SimConfig cfg;
+  cfg.capacity_scale = 3.0;
+  const Simulator sim(env_, fp_, cfg);
+  for (const int c : sim.region_capacities()) EXPECT_EQ(c, 105);
+  SimConfig tiny;
+  tiny.capacity_scale = 0.001;
+  const Simulator sim2(env_, fp_, tiny);
+  for (const int c : sim2.region_capacities()) EXPECT_EQ(c, 1);  // floor of 1
+}
+
+TEST(CampaignResult, SavingsMath) {
+  CampaignResult base;
+  base.total_carbon_g = 200.0;
+  base.total_water_l = 100.0;
+  CampaignResult better;
+  better.total_carbon_g = 150.0;
+  better.total_water_l = 90.0;
+  EXPECT_NEAR(better.carbon_saving_pct_vs(base), 25.0, 1e-12);
+  EXPECT_NEAR(better.water_saving_pct_vs(base), 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(base.carbon_saving_pct_vs(base), 0.0);
+}
+
+TEST(CampaignResult, RegionSharePct) {
+  CampaignResult r;
+  r.num_jobs = 10;
+  r.jobs_per_region = {5, 3, 2};
+  const auto shares = r.region_share_pct();
+  EXPECT_DOUBLE_EQ(shares[0], 50.0);
+  EXPECT_DOUBLE_EQ(shares[2], 20.0);
+}
+
+}  // namespace
+}  // namespace ww::dc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "dc/capacity_timeline.hpp"
+
+namespace ww::dc {
+namespace {
+
+TEST(CapacityTimeline, EmptyHasZeroOccupancy) {
+  const CapacityTimeline tl(4);
+  EXPECT_EQ(tl.capacity(), 4);
+  EXPECT_EQ(tl.occupancy_at(0.0), 0);
+  EXPECT_EQ(tl.max_occupancy(0.0, 1e9), 0);
+  EXPECT_TRUE(tl.fits(0.0, 100.0));
+}
+
+TEST(CapacityTimeline, SingleReservation) {
+  CapacityTimeline tl(2);
+  tl.reserve(10.0, 20.0);
+  EXPECT_EQ(tl.occupancy_at(5.0), 0);
+  EXPECT_EQ(tl.occupancy_at(10.0), 1);
+  EXPECT_EQ(tl.occupancy_at(15.0), 1);
+  EXPECT_EQ(tl.occupancy_at(20.0), 0);  // half-open interval
+  EXPECT_EQ(tl.max_occupancy(0.0, 30.0), 1);
+}
+
+TEST(CapacityTimeline, CapacityEnforcement) {
+  CapacityTimeline tl(2);
+  tl.reserve(0.0, 100.0);
+  tl.reserve(0.0, 100.0);
+  EXPECT_FALSE(tl.fits(50.0, 60.0));
+  EXPECT_TRUE(tl.fits(100.0, 110.0));  // after both end
+  EXPECT_TRUE(tl.fits(150.0, 250.0));
+}
+
+TEST(CapacityTimeline, OverlappingPattern) {
+  CapacityTimeline tl(10);
+  tl.reserve(0.0, 10.0);
+  tl.reserve(5.0, 15.0);
+  tl.reserve(8.0, 9.0);
+  EXPECT_EQ(tl.max_occupancy(0.0, 20.0), 3);
+  EXPECT_EQ(tl.max_occupancy(0.0, 5.0), 1);
+  EXPECT_EQ(tl.max_occupancy(12.0, 20.0), 1);
+  EXPECT_EQ(tl.occupancy_at(8.5), 3);
+}
+
+TEST(CapacityTimeline, AdjacentIntervalsDoNotStack) {
+  CapacityTimeline tl(1);
+  tl.reserve(0.0, 10.0);
+  EXPECT_TRUE(tl.fits(10.0, 20.0));
+  tl.reserve(10.0, 20.0);
+  EXPECT_EQ(tl.max_occupancy(0.0, 20.0), 1);
+}
+
+TEST(CapacityTimeline, PrunePreservesActiveReservations) {
+  CapacityTimeline tl(3);
+  tl.reserve(0.0, 100.0);   // still active at prune point
+  tl.reserve(10.0, 20.0);   // fully past
+  tl.reserve(60.0, 80.0);   // future
+  tl.prune(50.0);
+  EXPECT_EQ(tl.occupancy_at(55.0), 1);
+  EXPECT_EQ(tl.occupancy_at(70.0), 2);
+  EXPECT_EQ(tl.occupancy_at(99.0), 1);
+  EXPECT_EQ(tl.occupancy_at(150.0), 0);
+  EXPECT_LE(tl.event_count(), 3u);  // past events folded away
+}
+
+TEST(CapacityTimeline, PruneThenReserve) {
+  CapacityTimeline tl(2);
+  tl.reserve(0.0, 30.0);
+  tl.prune(10.0);
+  tl.reserve(15.0, 25.0);
+  EXPECT_EQ(tl.max_occupancy(15.0, 25.0), 2);
+  EXPECT_FALSE(tl.fits(16.0, 24.0));
+}
+
+TEST(CapacityTimeline, Validation) {
+  EXPECT_THROW(CapacityTimeline(0), std::invalid_argument);
+  CapacityTimeline tl(1);
+  EXPECT_THROW(tl.reserve(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(tl.reserve(5.0, 4.0), std::invalid_argument);
+}
+
+TEST(CapacityTimeline, ManyReservationsStressOccupancy) {
+  CapacityTimeline tl(1000);
+  // Staircase: 100 overlapping unit jobs shifted by 0.5.
+  for (int i = 0; i < 100; ++i) tl.reserve(i * 0.5, i * 0.5 + 10.0);
+  // At t=9.9, jobs with start in (−0.1, 9.9] are active: i*0.5 <= 9.9 and
+  // i*0.5 + 10 > 9.9 → i in [0, 19] → 20 active.
+  EXPECT_EQ(tl.occupancy_at(9.9), 20);
+}
+
+}  // namespace
+}  // namespace ww::dc

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "env/energy_mix.hpp"
+#include "env/energy_source.hpp"
+
+namespace ww::env {
+namespace {
+
+TEST(EnergySource, PaperAnchors) {
+  // Fig. 1 anchors quoted in the text: coal 1050 gCO2/kWh is ~62x hydro's 17;
+  // hydro EWIF 17 L/kWh is ~11x coal's.
+  EXPECT_DOUBLE_EQ(carbon_intensity(EnergySource::Coal), 1050.0);
+  EXPECT_DOUBLE_EQ(carbon_intensity(EnergySource::Hydro), 17.0);
+  EXPECT_NEAR(carbon_intensity(EnergySource::Coal) /
+                  carbon_intensity(EnergySource::Hydro),
+              62.0, 1.0);
+  EXPECT_DOUBLE_EQ(ewif(EnergySource::Hydro), 17.0);
+  EXPECT_NEAR(ewif(EnergySource::Hydro) / ewif(EnergySource::Coal), 11.0, 0.5);
+}
+
+TEST(EnergySource, RenewablesAreCarbonFriendly) {
+  // Every renewable has lower carbon intensity than every fossil source.
+  double max_renewable_ci = 0.0;
+  double min_fossil_ci = 1e18;
+  for (const EnergySource s : all_sources()) {
+    if (is_renewable(s))
+      max_renewable_ci = std::max(max_renewable_ci, carbon_intensity(s));
+    else
+      min_fossil_ci = std::min(min_fossil_ci, carbon_intensity(s));
+  }
+  EXPECT_LT(max_renewable_ci, min_fossil_ci);
+}
+
+TEST(EnergySource, CarbonWaterTension) {
+  // Observation 1: some carbon-friendly sources are water-thirsty — hydro
+  // and biomass must exceed every fossil source's EWIF.
+  for (const EnergySource f :
+       {EnergySource::Gas, EnergySource::Oil, EnergySource::Coal}) {
+    EXPECT_GT(ewif(EnergySource::Hydro), ewif(f));
+    EXPECT_GT(ewif(EnergySource::Biomass), ewif(f));
+  }
+}
+
+TEST(EnergySource, WriDatasetDiffersButStaysPositive) {
+  for (const EnergySource s : all_sources()) {
+    EXPECT_GT(ewif(s, WaterDataset::WorldResourcesInstitute), 0.0);
+    EXPECT_GT(ewif(s, WaterDataset::ElectricityMaps), 0.0);
+  }
+  // The datasets genuinely disagree (otherwise Fig. 6 would be Fig. 5).
+  int differing = 0;
+  for (const EnergySource s : all_sources())
+    if (ewif(s, WaterDataset::ElectricityMaps) !=
+        ewif(s, WaterDataset::WorldResourcesInstitute))
+      ++differing;
+  EXPECT_GE(differing, 5);
+}
+
+TEST(EnergySource, Names) {
+  EXPECT_EQ(to_string(EnergySource::Nuclear), "Nuclear");
+  EXPECT_EQ(to_string(EnergySource::Coal), "Coal");
+  EXPECT_EQ(to_string(WaterDataset::ElectricityMaps), "ElectricityMaps");
+}
+
+MixConfig test_mix() {
+  MixConfig mix;
+  mix.base_share = {0.1, 0.1, 0.2, 0.0, 0.1, 0.1, 0.3, 0.05, 0.05};
+  return mix;
+}
+
+TEST(EnergyMix, SharesSumToOne) {
+  const EnergyMixModel model(test_mix(), util::Rng(1), 24 * 30);
+  for (const double t : {0.0, 3600.0, 86400.0, 86400.0 * 15 + 7200.0}) {
+    double total = 0.0;
+    for (const EnergySource s : all_sources()) total += model.share(s, t);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(EnergyMix, SharesNonNegative) {
+  const EnergyMixModel model(test_mix(), util::Rng(2), 24 * 30);
+  for (int h = 0; h < 24 * 30; ++h)
+    for (const EnergySource s : all_sources())
+      EXPECT_GE(model.share(s, h * 3600.0), 0.0);
+}
+
+TEST(EnergyMix, SolarFollowsDaylight) {
+  const EnergyMixModel model(test_mix(), util::Rng(3), 24 * 10);
+  // Solar at 3am must be zero; at noon positive.
+  EXPECT_NEAR(model.share(EnergySource::Solar, 3.0 * 3600.0), 0.0, 1e-9);
+  EXPECT_GT(model.share(EnergySource::Solar, 12.0 * 3600.0), 0.0);
+}
+
+TEST(EnergyMix, CarbonIntensityWithinSourceRange) {
+  const EnergyMixModel model(test_mix(), util::Rng(4), 24 * 60);
+  for (int h = 0; h < 24 * 60; h += 7) {
+    const double ci = model.carbon_intensity(h * 3600.0);
+    EXPECT_GT(ci, carbon_intensity(EnergySource::Wind));
+    EXPECT_LT(ci, carbon_intensity(EnergySource::Coal));
+  }
+}
+
+TEST(EnergyMix, CarbonIntensityVariesOverTime) {
+  const EnergyMixModel model(test_mix(), util::Rng(5), 24 * 30);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int h = 0; h < 24 * 30; ++h) {
+    const double ci = model.carbon_intensity(h * 3600.0);
+    lo = std::min(lo, ci);
+    hi = std::max(hi, ci);
+  }
+  EXPECT_GT(hi / lo, 1.1);  // meaningful temporal variation to exploit
+}
+
+TEST(EnergyMix, DeterministicForSameSeed) {
+  const EnergyMixModel a(test_mix(), util::Rng(6), 24 * 10);
+  const EnergyMixModel b(test_mix(), util::Rng(6), 24 * 10);
+  for (int h = 0; h < 24 * 10; ++h)
+    EXPECT_DOUBLE_EQ(a.carbon_intensity(h * 3600.0),
+                     b.carbon_intensity(h * 3600.0));
+}
+
+TEST(EnergyMix, EwifDatasetsDiffer) {
+  const EnergyMixModel model(test_mix(), util::Rng(7), 24 * 10);
+  const double em = model.ewif(7200.0, WaterDataset::ElectricityMaps);
+  const double wri = model.ewif(7200.0, WaterDataset::WorldResourcesInstitute);
+  EXPECT_GT(em, 0.0);
+  EXPECT_GT(wri, 0.0);
+  EXPECT_NE(em, wri);
+}
+
+TEST(EnergyMix, RejectsBadConfig) {
+  MixConfig zero;  // all-zero shares
+  EXPECT_THROW(EnergyMixModel(zero, util::Rng(1), 24), std::invalid_argument);
+  EXPECT_THROW(EnergyMixModel(test_mix(), util::Rng(1), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ww::env

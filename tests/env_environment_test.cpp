@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "env/environment.hpp"
+
+namespace ww::env {
+namespace {
+
+EnvironmentConfig small_config() {
+  EnvironmentConfig cfg;
+  cfg.horizon_days = 30;  // keep construction fast in unit tests
+  return cfg;
+}
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  Environment env_ = Environment::builtin(small_config());
+
+  /// Annual-ish average of a per-region series.
+  double average(double (Environment::*fn)(int, double) const, int r) const {
+    double total = 0.0;
+    const int samples = 24 * 28;
+    for (int h = 0; h < samples; ++h) total += (env_.*fn)(r, h * 3600.0);
+    return total / samples;
+  }
+};
+
+TEST_F(EnvironmentTest, RegionLookup) {
+  EXPECT_EQ(env_.num_regions(), 5);
+  EXPECT_EQ(env_.region_index("Zurich"), 0);
+  EXPECT_EQ(env_.region_index("Mumbai"), 4);
+  EXPECT_THROW((void)env_.region_index("Atlantis"), std::out_of_range);
+  EXPECT_EQ(env_.total_servers(), 175);
+}
+
+TEST_F(EnvironmentTest, CarbonIntensityOrderingMatchesFig2a) {
+  // Fig. 2: labels sorted by carbon intensity:
+  // Zurich < Madrid < Oregon < Milan < Mumbai.
+  std::vector<double> avg;
+  for (int r = 0; r < 5; ++r)
+    avg.push_back(average(&Environment::carbon_intensity, r));
+  for (int r = 0; r + 1 < 5; ++r)
+    EXPECT_LT(avg[static_cast<std::size_t>(r)],
+              avg[static_cast<std::size_t>(r + 1)])
+        << env_.region(r).name << " vs " << env_.region(r + 1).name;
+}
+
+TEST_F(EnvironmentTest, ZurichHasHighestEwifDespiteLowestCarbon) {
+  // Fig. 2b: Zurich's hydro/biomass grid is the most water-intensive.
+  const double zurich = average(&Environment::ewif, 0);
+  for (int r = 1; r < 5; ++r)
+    EXPECT_GT(zurich, average(&Environment::ewif, r))
+        << "vs " << env_.region(r).name;
+}
+
+TEST_F(EnvironmentTest, MumbaiEwifLowButWsfHigh) {
+  const double mumbai_ewif = average(&Environment::ewif, 4);
+  const double zurich_ewif = average(&Environment::ewif, 0);
+  EXPECT_LT(mumbai_ewif, 0.6 * zurich_ewif);
+  EXPECT_GT(env_.wsf(4), env_.wsf(0));
+}
+
+TEST_F(EnvironmentTest, MumbaiHasHighestWue) {
+  // Fig. 2c: tropical wet-bulb makes Mumbai the most cooling-thirsty.
+  const double mumbai = average(&Environment::wue, 4);
+  for (int r = 0; r < 4; ++r)
+    EXPECT_GT(mumbai, average(&Environment::wue, r));
+}
+
+TEST_F(EnvironmentTest, WaterIntensityMatchesEq6) {
+  for (int r = 0; r < 5; ++r) {
+    const double t = 13.0 * 3600.0;
+    const double expected =
+        (env_.wue(r, t) + env_.pue(r) * env_.ewif(r, t)) * (1.0 + env_.wsf(r));
+    EXPECT_NEAR(env_.water_intensity(r, t), expected, 1e-12);
+  }
+}
+
+TEST_F(EnvironmentTest, CarbonVsWaterIntensityNotPerfectlyAligned) {
+  // The co-optimization only has teeth if the two intensity landscapes
+  // disagree: the region ranking by carbon must differ from the ranking by
+  // water intensity.
+  std::vector<int> by_carbon = {0, 1, 2, 3, 4};
+  std::vector<int> by_water = {0, 1, 2, 3, 4};
+  std::vector<double> ci;
+  std::vector<double> wi;
+  for (int r = 0; r < 5; ++r) {
+    ci.push_back(average(&Environment::carbon_intensity, r));
+    wi.push_back(average(&Environment::water_intensity, r));
+  }
+  std::sort(by_carbon.begin(), by_carbon.end(), [&](int a, int b) {
+    return ci[static_cast<std::size_t>(a)] < ci[static_cast<std::size_t>(b)];
+  });
+  std::sort(by_water.begin(), by_water.end(), [&](int a, int b) {
+    return wi[static_cast<std::size_t>(a)] < wi[static_cast<std::size_t>(b)];
+  });
+  EXPECT_NE(by_carbon, by_water);
+}
+
+TEST_F(EnvironmentTest, SubsetSeesIdenticalSeries) {
+  // Fig. 12 experiments remove regions; remaining series must not change.
+  const Environment sub = Environment::builtin_subset({0, 3, 4}, small_config());
+  ASSERT_EQ(sub.num_regions(), 3);
+  EXPECT_EQ(sub.region(1).name, "Milan");
+  for (const double t : {0.0, 7200.0, 86400.0 * 3 + 1800.0}) {
+    EXPECT_DOUBLE_EQ(sub.carbon_intensity(0, t), env_.carbon_intensity(0, t));
+    EXPECT_DOUBLE_EQ(sub.carbon_intensity(1, t), env_.carbon_intensity(3, t));
+    EXPECT_DOUBLE_EQ(sub.wue(2, t), env_.wue(4, t));
+  }
+}
+
+TEST_F(EnvironmentTest, PerturbationKnobs) {
+  EnvironmentConfig cfg = small_config();
+  cfg.carbon_intensity_scale = 1.1;
+  cfg.water_intensity_scale = 0.9;
+  const Environment scaled = Environment::builtin(cfg);
+  const double t = 5000.0;
+  EXPECT_NEAR(scaled.carbon_intensity(2, t), 1.1 * env_.carbon_intensity(2, t),
+              1e-9);
+  EXPECT_NEAR(scaled.ewif(2, t), 0.9 * env_.ewif(2, t), 1e-9);
+  EXPECT_NEAR(scaled.wue(2, t), 0.9 * env_.wue(2, t), 1e-9);
+}
+
+TEST_F(EnvironmentTest, PueOverride) {
+  EnvironmentConfig cfg = small_config();
+  cfg.pue_override = 1.5;
+  const Environment e = Environment::builtin(cfg);
+  for (int r = 0; r < e.num_regions(); ++r) EXPECT_DOUBLE_EQ(e.pue(r), 1.5);
+}
+
+TEST_F(EnvironmentTest, DatasetSwitchChangesEwif) {
+  EnvironmentConfig cfg = small_config();
+  cfg.dataset = WaterDataset::WorldResourcesInstitute;
+  const Environment wri = Environment::builtin(cfg);
+  // Zurich's hydro-heavy EWIF must drop under the WRI table.
+  EXPECT_LT(wri.ewif(0, 7200.0), env_.ewif(0, 7200.0));
+}
+
+TEST_F(EnvironmentTest, TransferLatencyConsistent) {
+  EXPECT_DOUBLE_EQ(env_.transfer_latency_seconds(1, 1, 5e8), 0.0);
+  EXPECT_GT(env_.transfer_latency_seconds(0, 4, 5e8),
+            env_.transfer_latency_seconds(0, 3, 5e8));
+}
+
+TEST(Environment, RejectsEmptyRegionList) {
+  EXPECT_THROW(Environment({}, EnvironmentConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ww::env

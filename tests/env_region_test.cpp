@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "env/latency.hpp"
+#include "env/region.hpp"
+
+namespace ww::env {
+namespace {
+
+TEST(Region, FiveBuiltinsInPaperOrder) {
+  const auto specs = builtin_region_specs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "Zurich");
+  EXPECT_EQ(specs[1].name, "Madrid");
+  EXPECT_EQ(specs[2].name, "Oregon");
+  EXPECT_EQ(specs[3].name, "Milan");
+  EXPECT_EQ(specs[4].name, "Mumbai");
+  EXPECT_EQ(specs[0].aws_zone, "eu-central-2");
+  EXPECT_EQ(specs[4].aws_zone, "ap-south-1");
+}
+
+TEST(Region, PaperClusterSize) {
+  // 175 nodes equally distributed across five regions (Sec. 5).
+  const auto specs = builtin_region_specs();
+  int total = 0;
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.servers, 35);
+    total += s.servers;
+  }
+  EXPECT_EQ(total, 175);
+}
+
+TEST(Region, WsfLandscape) {
+  // Fig. 2d: Madrid and Mumbai highly water-stressed, Zurich least.
+  const auto specs = builtin_region_specs();
+  const auto wsf = [&](const char* name) {
+    for (const auto& s : specs)
+      if (s.name == name) return s.wsf;
+    ADD_FAILURE();
+    return 0.0;
+  };
+  EXPECT_LT(wsf("Zurich"), wsf("Milan"));
+  EXPECT_LT(wsf("Milan"), wsf("Oregon"));
+  EXPECT_GT(wsf("Madrid"), 0.6);
+  EXPECT_GT(wsf("Mumbai"), 0.6);
+  for (const auto& s : specs) {
+    EXPECT_GE(s.wsf, 0.0);
+    EXPECT_LT(s.wsf, 1.0);
+  }
+}
+
+TEST(Region, DefaultPueMatchesPaper) {
+  for (const auto& s : builtin_region_specs()) EXPECT_DOUBLE_EQ(s.pue, 1.2);
+}
+
+TEST(Haversine, KnownDistances) {
+  // Zurich -> Milan is ~215 km; Zurich -> Mumbai ~6750 km.
+  const double zm = haversine_km(47.38, 8.54, 45.46, 9.19);
+  EXPECT_NEAR(zm, 218.0, 25.0);
+  const double z_mum = haversine_km(47.38, 8.54, 19.08, 72.88);
+  EXPECT_NEAR(z_mum, 6750.0, 300.0);
+  EXPECT_DOUBLE_EQ(haversine_km(10.0, 20.0, 10.0, 20.0), 0.0);
+}
+
+TEST(Transfer, ZeroForLocal) {
+  const TransferModel model({{47.38, 8.54}, {45.46, 9.19}});
+  EXPECT_DOUBLE_EQ(model.latency_seconds(0, 0, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(model.energy_kwh(0, 0, 1e9), 0.0);
+}
+
+TEST(Transfer, SymmetricAndMonotoneInDistance) {
+  // Zurich, Milan, Mumbai.
+  const TransferModel model(
+      {{47.38, 8.54}, {45.46, 9.19}, {19.08, 72.88}});
+  const double near = model.latency_seconds(0, 1, 2e8);
+  const double far = model.latency_seconds(0, 2, 2e8);
+  EXPECT_GT(far, near);
+  EXPECT_NEAR(model.latency_seconds(0, 2, 2e8), model.latency_seconds(2, 0, 2e8),
+              1e-12);
+}
+
+TEST(Transfer, SerializationDominatesForLargePackages) {
+  const TransferModel model({{47.38, 8.54}, {45.46, 9.19}});
+  const double small = model.latency_seconds(0, 1, 1e6);
+  const double large = model.latency_seconds(0, 1, 1e9);
+  // 1 GB at 100 MB/s ~ 10 s of serialization.
+  EXPECT_GT(large - small, 9.0);
+}
+
+TEST(Transfer, EnergyGrowsWithBytesAndDistance) {
+  const TransferModel model(
+      {{47.38, 8.54}, {45.46, 9.19}, {19.08, 72.88}});
+  EXPECT_GT(model.energy_kwh(0, 1, 2e9), model.energy_kwh(0, 1, 1e9));
+  EXPECT_GT(model.energy_kwh(0, 2, 1e9), model.energy_kwh(0, 1, 1e9));
+}
+
+TEST(Transfer, RejectsEmpty) {
+  EXPECT_THROW(TransferModel({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ww::env

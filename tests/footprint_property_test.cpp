@@ -1,0 +1,153 @@
+// Property sweeps for the footprint model: hourly integration must agree
+// with a fine-grained numeric reference, scale linearly, and decompose
+// consistently across random (region, time, duration, energy) draws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "footprint/footprint.hpp"
+#include "util/rng.hpp"
+
+namespace ww::footprint {
+namespace {
+
+env::EnvironmentConfig small_config() {
+  env::EnvironmentConfig cfg;
+  cfg.horizon_days = 40;
+  return cfg;
+}
+
+const env::Environment& shared_env() {
+  static const env::Environment env = env::Environment::builtin(small_config());
+  return env;
+}
+
+/// Fine-step (1-minute) numeric reference for the operational terms.
+Breakdown reference_integrated(const env::Environment& env,
+                               const FootprintModel& model, int r,
+                               double start, double dur, double energy) {
+  Breakdown total;
+  const int steps = std::max(1, static_cast<int>(dur / 60.0));
+  const double dt = dur / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double mid = start + (i + 0.5) * dt;
+    const double e = energy * dt / dur;
+    const double scarcity = 1.0 + env.wsf(r);
+    total.operational_carbon_g += e * env.carbon_intensity(r, mid);
+    total.offsite_water_l += env.pue(r) * e * env.ewif(r, mid) * scarcity;
+    total.onsite_water_l += e * env.wue(r, mid) * scarcity;
+  }
+  const double amortization = dur / model.server().lifetime_seconds;
+  total.embodied_carbon_g = amortization * model.server().embodied_carbon_g;
+  total.embodied_water_l = amortization * model.server().embodied_water_l();
+  return total;
+}
+
+class FootprintProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FootprintProperty, IntegrationMatchesFineReference) {
+  const env::Environment& env = shared_env();
+  const FootprintModel model(env);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 127 + 1);
+
+  const int r = static_cast<int>(rng.uniform_int(0, env.num_regions() - 1));
+  const double start = rng.uniform(0.0, 30.0 * 86400.0);
+  const double dur = rng.uniform(30.0, 12.0 * 3600.0);
+  const double energy = rng.uniform(1e-3, 2.0);
+
+  const Breakdown fast = model.job_integrated(r, start, dur, energy);
+  const Breakdown ref = reference_integrated(env, model, r, start, dur, energy);
+
+  // Hourly vs. minute integration: Riemann sums on different grids.  CI and
+  // EWIF are piecewise-linear (tight agreement); WUE additionally has the
+  // cooling-tower floor clamp, whose kinks inside an hour slice bias the
+  // hourly midpoint rule, so onsite water gets a wider band.
+  EXPECT_NEAR(fast.operational_carbon_g, ref.operational_carbon_g,
+              0.02 * ref.operational_carbon_g + 1e-9);
+  EXPECT_NEAR(fast.offsite_water_l, ref.offsite_water_l,
+              0.02 * ref.offsite_water_l + 1e-9);
+  EXPECT_NEAR(fast.onsite_water_l, ref.onsite_water_l,
+              0.12 * ref.onsite_water_l + 0.01);
+  EXPECT_NEAR(fast.embodied_carbon_g, ref.embodied_carbon_g, 1e-9);
+  EXPECT_NEAR(fast.embodied_water_l, ref.embodied_water_l, 1e-9);
+}
+
+TEST_P(FootprintProperty, EnergyLinearity) {
+  const env::Environment& env = shared_env();
+  const FootprintModel model(env);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 7);
+  const int r = static_cast<int>(rng.uniform_int(0, env.num_regions() - 1));
+  const double start = rng.uniform(0.0, 30.0 * 86400.0);
+  const double dur = rng.uniform(30.0, 4.0 * 3600.0);
+  const double e = rng.uniform(1e-3, 1.0);
+  const double k = rng.uniform(1.5, 4.0);
+
+  const Breakdown one = model.job_integrated(r, start, dur, e);
+  const Breakdown scaled = model.job_integrated(r, start, dur, k * e);
+  EXPECT_NEAR(scaled.operational_carbon_g, k * one.operational_carbon_g,
+              1e-6 * scaled.operational_carbon_g + 1e-12);
+  EXPECT_NEAR(scaled.offsite_water_l + scaled.onsite_water_l,
+              k * (one.offsite_water_l + one.onsite_water_l),
+              1e-6 * scaled.water_l() + 1e-12);
+  // Embodied terms depend on duration, not energy.
+  EXPECT_DOUBLE_EQ(scaled.embodied_carbon_g, one.embodied_carbon_g);
+}
+
+TEST_P(FootprintProperty, SplitIntervalAdditivity) {
+  // Integrating [t, t+d) equals integrating [t, t+a) + [t+a, t+d) with
+  // energy split proportionally.
+  const env::Environment& env = shared_env();
+  const FootprintModel model(env);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 499 + 3);
+  const int r = static_cast<int>(rng.uniform_int(0, env.num_regions() - 1));
+  const double start = rng.uniform(0.0, 30.0 * 86400.0);
+  const double dur = rng.uniform(600.0, 8.0 * 3600.0);
+  const double e = rng.uniform(0.01, 1.0);
+  const double frac = rng.uniform(0.2, 0.8);
+
+  const Breakdown whole = model.job_integrated(r, start, dur, e);
+  const Breakdown a = model.job_integrated(r, start, frac * dur, frac * e);
+  const Breakdown b = model.job_integrated(r, start + frac * dur,
+                                           (1.0 - frac) * dur, (1.0 - frac) * e);
+  // Splitting inside an hour slice moves that slice's midpoint sample, so
+  // additivity holds to quadrature accuracy, not exactly.
+  EXPECT_NEAR(whole.operational_carbon_g,
+              a.operational_carbon_g + b.operational_carbon_g,
+              5e-3 * whole.operational_carbon_g + 1e-9);
+  EXPECT_NEAR(whole.water_l() - whole.embodied_water_l,
+              (a.water_l() - a.embodied_water_l) +
+                  (b.water_l() - b.embodied_water_l),
+              5e-3 * whole.water_l() + 1e-9);
+  EXPECT_NEAR(whole.embodied_carbon_g,
+              a.embodied_carbon_g + b.embodied_carbon_g, 1e-9);
+}
+
+TEST_P(FootprintProperty, WaterIntensityBoundsOperationalWater) {
+  // Per Eq. 2/3/6: operational water == E * water-intensity when intensities
+  // are frozen, so integrated operational water per kWh must lie within the
+  // min/max water intensity over the window.
+  const env::Environment& env = shared_env();
+  const FootprintModel model(env);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 881 + 9);
+  const int r = static_cast<int>(rng.uniform_int(0, env.num_regions() - 1));
+  const double start = rng.uniform(0.0, 30.0 * 86400.0);
+  const double dur = rng.uniform(600.0, 6.0 * 3600.0);
+  const double e = rng.uniform(0.01, 1.0);
+
+  const Breakdown b = model.job_integrated(r, start, dur, e);
+  const double per_kwh = (b.offsite_water_l + b.onsite_water_l) / e;
+  double lo = 1e18;
+  double hi = 0.0;
+  for (double t = start; t <= start + dur; t += 300.0) {
+    const double wi = env.water_intensity(r, t);
+    lo = std::min(lo, wi);
+    hi = std::max(hi, wi);
+  }
+  EXPECT_GE(per_kwh, lo * 0.99);
+  EXPECT_LE(per_kwh, hi * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FootprintProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ww::footprint

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "dc/simulator.hpp"
+#include "sched/basic.hpp"
+#include "sched/greedy_opt.hpp"
+#include "trace/generator.hpp"
+
+namespace ww::sched {
+namespace {
+
+env::EnvironmentConfig small_env() {
+  env::EnvironmentConfig cfg;
+  cfg.horizon_days = 5;
+  return cfg;
+}
+
+struct Rig {
+  env::Environment env = env::Environment::builtin(small_env());
+  footprint::FootprintModel fp{env};
+  std::vector<trace::Job> jobs = trace::generate_trace(trace::borg_config(3, 0.1));
+
+  dc::CampaignResult run(dc::Scheduler& s, double tol = 0.5) {
+    dc::SimConfig cfg;
+    cfg.tol = tol;
+    dc::Simulator sim(env, fp, cfg);
+    return sim.run(jobs, s);
+  }
+};
+
+TEST(GreedyOpt, Names) {
+  GreedyOptScheduler carbon(GreedyMetric::Carbon);
+  GreedyOptScheduler water(GreedyMetric::Water);
+  EXPECT_EQ(carbon.name(), "Carbon-Greedy-Opt");
+  EXPECT_EQ(water.name(), "Water-Greedy-Opt");
+}
+
+TEST(GreedyOpt, CarbonOracleBeatsBaselineOnCarbon) {
+  Rig rig;
+  BaselineScheduler baseline;
+  GreedyOptScheduler carbon(GreedyMetric::Carbon);
+  const auto base = rig.run(baseline);
+  const auto opt = rig.run(carbon);
+  EXPECT_EQ(opt.num_jobs, base.num_jobs);
+  EXPECT_GT(opt.carbon_saving_pct_vs(base), 5.0);
+}
+
+TEST(GreedyOpt, WaterOracleBeatsBaselineOnWater) {
+  Rig rig;
+  BaselineScheduler baseline;
+  GreedyOptScheduler water(GreedyMetric::Water);
+  const auto base = rig.run(baseline);
+  const auto opt = rig.run(water);
+  EXPECT_GT(opt.water_saving_pct_vs(base), 5.0);
+}
+
+TEST(GreedyOpt, EachOracleWinsItsOwnMetric) {
+  // Fig. 3a structure: Carbon-Greedy-Opt is the best carbon point,
+  // Water-Greedy-Opt the best water point, and they are different policies.
+  Rig rig;
+  GreedyOptScheduler carbon(GreedyMetric::Carbon);
+  GreedyOptScheduler water(GreedyMetric::Water);
+  const auto c = rig.run(carbon);
+  const auto w = rig.run(water);
+  EXPECT_LT(c.total_carbon_g, w.total_carbon_g);
+  EXPECT_LT(w.total_water_l, c.total_water_l);
+}
+
+TEST(GreedyOpt, HigherToleranceNeverHurtsMuch) {
+  // Fig. 3a: savings improve (or at worst saturate) with delay tolerance.
+  Rig rig;
+  GreedyOptScheduler carbon1(GreedyMetric::Carbon);
+  GreedyOptScheduler carbon2(GreedyMetric::Carbon);
+  BaselineScheduler baseline;
+  const auto base = rig.run(baseline, 0.1);
+  const auto low = rig.run(carbon1, 0.1);
+  const auto high = rig.run(carbon2, 2.0);
+  EXPECT_GT(high.carbon_saving_pct_vs(base),
+            low.carbon_saving_pct_vs(base) - 2.0);
+}
+
+TEST(GreedyOpt, DistributesAcrossRegions) {
+  // Fig. 3b: no single region takes everything.
+  Rig rig;
+  GreedyOptScheduler carbon(GreedyMetric::Carbon);
+  const auto res = rig.run(carbon);
+  const auto shares = res.region_share_pct();
+  for (const double s : shares) EXPECT_LT(s, 95.0);
+  int populated = 0;
+  for (const double s : shares)
+    if (s > 1.0) ++populated;
+  EXPECT_GE(populated, 2);
+}
+
+TEST(GreedyOpt, RespectsDelayToleranceMostly) {
+  // Violations exist under pressure but stay rare (Table 2: <= ~2%).
+  Rig rig;
+  GreedyOptScheduler carbon(GreedyMetric::Carbon);
+  const auto res = rig.run(carbon, 0.25);
+  EXPECT_LT(res.violation_pct(), 5.0);
+}
+
+TEST(GreedyOpt, AllJobsEventuallyPlaced) {
+  Rig rig;
+  GreedyOptScheduler water(GreedyMetric::Water);
+  const auto res = rig.run(water);
+  EXPECT_EQ(res.num_jobs, static_cast<long>(rig.jobs.size()));
+}
+
+TEST(GreedyOpt, DeterministicAcrossRuns) {
+  Rig rig;
+  GreedyOptScheduler a(GreedyMetric::Carbon);
+  GreedyOptScheduler b(GreedyMetric::Carbon);
+  const auto r1 = rig.run(a);
+  const auto r2 = rig.run(b);
+  EXPECT_DOUBLE_EQ(r1.total_carbon_g, r2.total_carbon_g);
+  EXPECT_EQ(r1.jobs_per_region, r2.jobs_per_region);
+}
+
+}  // namespace
+}  // namespace ww::sched

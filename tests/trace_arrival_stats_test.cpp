@@ -1,0 +1,115 @@
+// Statistical structure of the synthetic traces: burstiness (index of
+// dispersion), diurnal modulation depth, and benchmark composition — the
+// trace features that stress batch scheduling and that DESIGN.md claims the
+// generators reproduce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/arrival.hpp"
+#include "trace/generator.hpp"
+#include "util/stats.hpp"
+
+namespace ww::trace {
+namespace {
+
+std::vector<double> counts_per_bucket(const std::vector<double>& times,
+                                      double horizon, double bucket) {
+  std::vector<double> counts(static_cast<std::size_t>(horizon / bucket) + 1, 0.0);
+  for (const double t : times)
+    ++counts[static_cast<std::size_t>(t / bucket)];
+  counts.pop_back();  // partial trailing bucket
+  return counts;
+}
+
+TEST(ArrivalStats, MmppIsOverdispersedVsPoisson) {
+  // A Poisson process has index of dispersion (var/mean of bucket counts)
+  // ~1; the MMPP + diurnal envelope must be clearly over-dispersed.
+  ArrivalConfig bursty;
+  bursty.base_rate_per_s = 0.25;
+  const double horizon = 4.0 * 86400.0;
+  const auto times = generate_arrivals(bursty, horizon, util::Rng(3));
+  const auto counts = counts_per_bucket(times, horizon, 600.0);
+  const double mean = util::mean(counts);
+  const double var = util::stddev(counts) * util::stddev(counts);
+  EXPECT_GT(var / mean, 1.5);
+}
+
+TEST(ArrivalStats, FlatPoissonBaselineIsNot) {
+  ArrivalConfig calm;
+  calm.base_rate_per_s = 0.25;
+  calm.shape = DiurnalShape::Flat;
+  calm.diurnal_swing = 0.0;
+  calm.burst_rate_multiplier = 1.0;
+  calm.calm_rate_multiplier = 1.0;
+  const double horizon = 4.0 * 86400.0;
+  const auto times = generate_arrivals(calm, horizon, util::Rng(5));
+  const auto counts = counts_per_bucket(times, horizon, 600.0);
+  const double mean = util::mean(counts);
+  const double var = util::stddev(counts) * util::stddev(counts);
+  EXPECT_NEAR(var / mean, 1.0, 0.25);
+}
+
+TEST(ArrivalStats, DiurnalPeakToTroughRatio) {
+  // Borg-like config: afternoon rate must exceed pre-dawn rate.
+  const auto cfg = borg_config(11, 6.0);
+  const auto jobs = generate_trace(cfg);
+  double peak = 0.0;
+  double trough = 0.0;
+  for (const Job& j : jobs) {
+    const double hour = std::fmod(j.submit_time / 3600.0, 24.0);
+    if (hour >= 12.0 && hour < 16.0) peak += 1.0;
+    if (hour >= 2.0 && hour < 6.0) trough += 1.0;
+  }
+  EXPECT_GT(peak / trough, 1.5);
+}
+
+TEST(ArrivalStats, AlibabaDoublePeakShape) {
+  // The double-peak envelope has local maxima near peak_hour and
+  // peak_hour - 10.
+  const double swing = 0.6;
+  const double f_peak1 =
+      diurnal_factor(DiurnalShape::DoublePeak, swing, 20.0, 20.0 * 3600.0);
+  const double f_peak2 =
+      diurnal_factor(DiurnalShape::DoublePeak, swing, 20.0, 10.0 * 3600.0);
+  const double f_valley =
+      diurnal_factor(DiurnalShape::DoublePeak, swing, 20.0, 3.0 * 3600.0);
+  EXPECT_GT(f_peak1, f_valley);
+  EXPECT_GT(f_peak2, f_valley);
+}
+
+TEST(ArrivalStats, BenchmarkCompositionUniform) {
+  const auto jobs = generate_trace(borg_config(13, 2.0));
+  std::vector<double> counts(static_cast<std::size_t>(num_benchmarks()), 0.0);
+  for (const Job& j : jobs)
+    counts[static_cast<std::size_t>(j.benchmark)] += 1.0;
+  const double expected =
+      static_cast<double>(jobs.size()) / static_cast<double>(num_benchmarks());
+  for (const double c : counts) EXPECT_NEAR(c / expected, 1.0, 0.1);
+}
+
+TEST(ArrivalStats, EnergyScalesWithExecTime) {
+  // Per-job energy = power x time; both sampled, so energy correlates
+  // strongly with execution time within a benchmark.
+  const auto jobs = generate_trace(borg_config(17, 0.5));
+  std::vector<double> exec;
+  std::vector<double> energy;
+  for (const Job& j : jobs) {
+    if (j.benchmark != 2) continue;  // Canneal only
+    exec.push_back(j.exec_seconds);
+    energy.push_back(j.energy_kwh());
+  }
+  ASSERT_GT(exec.size(), 50u);
+  EXPECT_GT(util::correlation(exec, energy), 0.8);
+}
+
+TEST(ArrivalStats, MeanJobDurationMatchesProfiles) {
+  const auto jobs = generate_trace(borg_config(19, 2.0));
+  util::RunningStats exec;
+  for (const Job& j : jobs) exec.add(j.exec_seconds);
+  EXPECT_NEAR(exec.mean(), mean_exec_seconds_overall(),
+              mean_exec_seconds_overall() * 0.05);
+}
+
+}  // namespace
+}  // namespace ww::trace

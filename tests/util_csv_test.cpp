@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ww::util {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRoundTrip, QuotedFields) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"x,y", "q\"q", "plain", ""});
+  w.write_row({"second", "row", "here", "4"});
+  std::istringstream in(out.str());
+  const CsvReader r(in);
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[0][0], "x,y");
+  EXPECT_EQ(r.rows()[0][1], "q\"q");
+  EXPECT_EQ(r.rows()[0][3], "");
+  EXPECT_EQ(r.rows()[1][3], "4");
+}
+
+TEST(CsvReader, ParseLine) {
+  const auto fields = CsvReader::parse_line("a,\"b,c\",d");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST(CsvReader, ToleratesCrlf) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  const CsvReader r(in);
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[1][1], "d");
+}
+
+TEST(FormatDouble, RoundTrips) {
+  for (const double v : {0.1, 1e-17, 123456.789, -3.25, 2.2662037037037037e-01}) {
+    EXPECT_DOUBLE_EQ(std::stod(format_double(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace ww::util

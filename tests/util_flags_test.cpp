@@ -1,0 +1,92 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ww::util {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.define("name", "a string flag", "default")
+      .define("count", "a numeric flag", "3")
+      .define("rate", "a double flag", "0.5")
+      .define_bool("verbose", "a switch");
+  return f;
+}
+
+void parse(Flags& f, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  f.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags f = make_flags();
+  parse(f, {});
+  EXPECT_EQ(f.get("name"), "default");
+  EXPECT_EQ(f.get_long("count", -1), 3);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", -1.0), 0.5);
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  Flags f = make_flags();
+  parse(f, {"--name", "waterwise", "--count", "42"});
+  EXPECT_EQ(f.get("name"), "waterwise");
+  EXPECT_EQ(f.get_long("count", -1), 42);
+  EXPECT_TRUE(f.has("name"));
+  EXPECT_FALSE(f.has("rate"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags();
+  parse(f, {"--rate=0.75", "--verbose"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.75);
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, BoolWithExplicitValue) {
+  Flags f = make_flags();
+  parse(f, {"--verbose=false"});
+  EXPECT_FALSE(f.get_bool("verbose"));
+  Flags g = make_flags();
+  parse(g, {"--verbose=yes"});
+  EXPECT_TRUE(g.get_bool("verbose"));
+}
+
+TEST(Flags, PositionalArguments) {
+  Flags f = make_flags();
+  parse(f, {"input.csv", "--name", "x", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--name"}), std::invalid_argument);
+}
+
+TEST(Flags, UndefinedGetThrows) {
+  Flags f = make_flags();
+  parse(f, {});
+  EXPECT_THROW((void)f.get("nonexistent"), std::out_of_range);
+  EXPECT_EQ(f.get_or("nonexistent", "fb"), "fb");
+}
+
+TEST(Flags, HelpListsAllFlags) {
+  const Flags f = make_flags();
+  const std::string h = f.help();
+  EXPECT_NE(h.find("--name"), std::string::npos);
+  EXPECT_NE(h.find("--verbose"), std::string::npos);
+  EXPECT_NE(h.find("a numeric flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ww::util
