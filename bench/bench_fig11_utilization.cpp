@@ -1,5 +1,6 @@
 // Fig. 11: WaterWise across cluster utilization levels (5%/15%/25%),
-// obtained by changing the number of available servers per region.
+// obtained by changing the number of available servers per region.  Every
+// (level, policy) cell is an independent campaign-runner scenario.
 #include "common.hpp"
 
 int main() {
@@ -12,37 +13,38 @@ int main() {
   // 25% => 0.6x servers.
   const std::vector<std::pair<std::string, double>> levels = {
       {"5%", 3.0}, {"15%", 1.0}, {"25%", 0.6}};
+  const std::vector<bench::Policy> policies = {
+      bench::Policy::Baseline, bench::Policy::CarbonGreedyOpt,
+      bench::Policy::WaterGreedyOpt, bench::Policy::WaterWise};
 
-  struct Row {
-    dc::CampaignResult base, carbon, water, ww;
-  };
-  std::vector<Row> rows(levels.size());
-  util::ThreadPool pool;
-  pool.parallel_for(levels.size() * 4, [&](std::size_t k) {
-    const std::size_t i = k / 4;
-    bench::CampaignSpec spec;
-    spec.tol = 0.5;
-    spec.capacity_scale = levels[i].second;
-    switch (k % 4) {
-      case 0: rows[i].base = bench::run_policy(jobs, bench::Policy::Baseline, spec); break;
-      case 1: rows[i].carbon = bench::run_policy(jobs, bench::Policy::CarbonGreedyOpt, spec); break;
-      case 2: rows[i].water = bench::run_policy(jobs, bench::Policy::WaterGreedyOpt, spec); break;
-      case 3: rows[i].ww = bench::run_policy(jobs, bench::Policy::WaterWise, spec); break;
+  dc::CampaignRunner runner(bench::campaign_config());
+  for (const auto& [level, capacity_scale] : levels) {
+    for (const bench::Policy policy : policies) {
+      const double scale = capacity_scale;
+      const auto body = [&, scale, policy](dc::ScenarioContext&) {
+        bench::CampaignSpec spec;
+        spec.tol = 0.5;
+        spec.capacity_scale = scale;
+        return bench::run_policy(jobs, policy, spec);
+      };
+      if (policy == bench::Policy::Baseline)
+        runner.add_baseline(level, bench::policy_name(policy), body);
+      else
+        runner.add({level, bench::policy_name(policy), false, body});
     }
-  });
+  }
+  const auto outcomes = bench::run_and_time(runner);
 
   util::Table table({"Utilization", "Scheme", "Carbon saving %",
                      "Water saving %"});
   for (std::size_t i = 0; i < levels.size(); ++i) {
-    const auto& b = rows[i].base;
-    auto add = [&](const char* label, const dc::CampaignResult& r) {
-      table.add_row({levels[i].first, label,
-                     util::Table::fixed(r.carbon_saving_pct_vs(b), 2),
-                     util::Table::fixed(r.water_saving_pct_vs(b), 2)});
-    };
-    add("Carbon-Greedy-Opt", rows[i].carbon);
-    add("Water-Greedy-Opt", rows[i].water);
-    add("WaterWise", rows[i].ww);
+    const dc::CampaignResult& base = outcomes[i * policies.size()].result;
+    for (std::size_t p = 1; p < policies.size(); ++p) {
+      const auto& o = outcomes[i * policies.size() + p];
+      table.add_row({levels[i].first, o.label,
+                     util::Table::fixed(o.result.carbon_saving_pct_vs(base), 2),
+                     util::Table::fixed(o.result.water_saving_pct_vs(base), 2)});
+    }
   }
   table.print(std::cout);
   std::cout << "\nShape check vs. paper: WaterWise stays close to the oracles at\n"

@@ -1,6 +1,7 @@
 // Fig. 12: sensitivity to region availability — WaterWise on subsets of the
 // five regions (paper panels: Zurich-Madrid-Oregon-Milan, Zurich-Milan-
-// Mumbai, Zurich-Oregon).
+// Mumbai, Zurich-Oregon).  Each (subset, policy) pair is an independent
+// campaign-runner scenario building its own trace and environment.
 #include "common.hpp"
 
 namespace {
@@ -37,24 +38,24 @@ int main() {
   };
   const double days = bench::campaign_days();
 
-  struct Row {
-    dc::CampaignResult base, ww;
-  };
-  std::vector<Row> rows(subsets.size());
-  util::ThreadPool pool;
-  pool.parallel_for(subsets.size() * 2, [&](std::size_t k) {
-    const std::size_t i = k / 2;
-    if (k % 2 == 0)
-      rows[i].base = run_subset(subsets[i].second, bench::Policy::Baseline, days);
-    else
-      rows[i].ww = run_subset(subsets[i].second, bench::Policy::WaterWise, days);
-  });
+  dc::CampaignRunner runner(bench::campaign_config());
+  for (const auto& [name, regions] : subsets) {
+    runner.add_baseline(name, "Baseline", [&, regions](dc::ScenarioContext&) {
+      return run_subset(regions, bench::Policy::Baseline, days);
+    });
+    runner.add({name, "WaterWise", false, [&, regions](dc::ScenarioContext&) {
+                  return run_subset(regions, bench::Policy::WaterWise, days);
+                }});
+  }
+  const auto outcomes = bench::run_and_time(runner);
 
   util::Table table({"Available regions", "Carbon saving %", "Water saving %"});
   for (std::size_t i = 0; i < subsets.size(); ++i) {
+    const dc::CampaignResult& base = outcomes[2 * i].result;
+    const dc::CampaignResult& ww = outcomes[2 * i + 1].result;
     table.add_row({subsets[i].first,
-                   util::Table::fixed(rows[i].ww.carbon_saving_pct_vs(rows[i].base), 2),
-                   util::Table::fixed(rows[i].ww.water_saving_pct_vs(rows[i].base), 2)});
+                   util::Table::fixed(ww.carbon_saving_pct_vs(base), 2),
+                   util::Table::fixed(ww.water_saving_pct_vs(base), 2)});
   }
   table.print(std::cout);
   std::cout << "\nShape check vs. paper: savings persist under every subset; the\n"

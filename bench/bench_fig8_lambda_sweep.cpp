@@ -1,5 +1,6 @@
 // Fig. 8: configurability — sweeping the carbon/water objective weights
-// (lambda_CO2 in {0.3, 0.5, 0.7}) at 50% delay tolerance.
+// (lambda_CO2 in {0.3, 0.5, 0.7}) at 50% delay tolerance.  The sweep fans
+// out through the campaign runner (WW_BENCH_JOBS controls the thread count).
 #include "common.hpp"
 
 int main() {
@@ -12,27 +13,31 @@ int main() {
 
   bench::CampaignSpec spec;
   spec.tol = 0.5;
-  dc::CampaignResult base;
-  std::vector<dc::CampaignResult> results(lambdas.size());
-  util::ThreadPool pool;
-  pool.parallel_for(lambdas.size() + 1, [&](std::size_t k) {
-    if (k == lambdas.size()) {
-      base = bench::run_policy(jobs, bench::Policy::Baseline, spec);
-      return;
-    }
-    core::WaterWiseConfig cfg;
-    cfg.lambda_co2 = lambdas[k];
-    cfg.lambda_h2o = 1.0 - lambdas[k];
-    results[k] = bench::run_policy(jobs, bench::Policy::WaterWise, spec, cfg);
+  dc::CampaignRunner runner(bench::campaign_config());
+  runner.add_baseline("", "Baseline", [&](dc::ScenarioContext&) {
+    return bench::run_policy(jobs, bench::Policy::Baseline, spec);
   });
+  for (const double lambda : lambdas) {
+    runner.add("lambda_CO2=" + util::Table::fixed(lambda, 1),
+               [&, lambda](dc::ScenarioContext&) {
+                 core::WaterWiseConfig cfg;
+                 cfg.lambda_co2 = lambda;
+                 cfg.lambda_h2o = 1.0 - lambda;
+                 return bench::run_policy(jobs, bench::Policy::WaterWise, spec,
+                                          cfg);
+               });
+  }
+  const auto outcomes = bench::run_and_time(runner);
+  const dc::CampaignResult& base = outcomes[0].result;
 
   util::Table table({"lambda_CO2", "lambda_H2O", "Carbon saving %",
                      "Water saving %"});
   for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const dc::CampaignResult& r = outcomes[i + 1].result;
     table.add_row({util::Table::fixed(lambdas[i], 1),
                    util::Table::fixed(1.0 - lambdas[i], 1),
-                   util::Table::fixed(results[i].carbon_saving_pct_vs(base), 2),
-                   util::Table::fixed(results[i].water_saving_pct_vs(base), 2)});
+                   util::Table::fixed(r.carbon_saving_pct_vs(base), 2),
+                   util::Table::fixed(r.water_saving_pct_vs(base), 2)});
   }
   table.print(std::cout);
   std::cout << "\nShape check vs. paper: higher lambda_CO2 tilts savings toward\n"

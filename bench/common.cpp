@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/timer.hpp"
+
 namespace ww::bench {
 
 double scale() {
@@ -14,6 +16,37 @@ double scale() {
 }
 
 double campaign_days() { return 1.0 * scale(); }
+
+std::size_t bench_jobs() {
+  const char* s = std::getenv("WW_BENCH_JOBS");
+  if (s == nullptr || *s == '\0') return 0;  // all cores
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) {
+    // Fall back to serial rather than silently saturating every core.
+    std::cerr << "warning: WW_BENCH_JOBS='" << s
+              << "' is not a non-negative integer; running serially\n";
+    return 1;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+dc::CampaignConfig campaign_config() {
+  dc::CampaignConfig cfg;
+  cfg.jobs = bench_jobs();
+  return cfg;
+}
+
+std::vector<dc::ScenarioOutcome> run_and_time(dc::CampaignRunner& runner) {
+  const std::size_t threads =
+      util::ThreadPool::resolve_threads(runner.config().jobs);
+  const util::Stopwatch watch;
+  auto outcomes = runner.run_all();
+  std::cout << "[campaign] " << outcomes.size() << " scenario(s) in "
+            << util::Table::fixed(watch.elapsed_seconds(), 2) << " s on "
+            << threads << " thread(s)\n";
+  return outcomes;
+}
 
 void banner(const std::string& experiment, const std::string& paper_ref) {
   std::cout << "==============================================================\n"

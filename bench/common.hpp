@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/waterwise.hpp"
+#include "dc/campaign_runner.hpp"
 #include "dc/simulator.hpp"
 #include "sched/basic.hpp"
 #include "sched/ecovisor.hpp"
@@ -28,6 +29,18 @@ namespace ww::bench {
 
 /// Simulated days for the default campaign: 1.0 * scale().
 [[nodiscard]] double campaign_days();
+
+/// WW_BENCH_JOBS environment knob: campaign fan-out threads
+/// (unset or 0 => hardware concurrency, 1 => serial).
+[[nodiscard]] std::size_t bench_jobs();
+
+/// CampaignConfig preconfigured from the bench environment knobs.
+[[nodiscard]] dc::CampaignConfig campaign_config();
+
+/// Runs the campaign across the pool, prints the wall-clock time and thread
+/// count, and returns outcomes in add() order.
+[[nodiscard]] std::vector<dc::ScenarioOutcome> run_and_time(
+    dc::CampaignRunner& runner);
 
 /// Prints the standard bench banner (figure/table id + provenance).
 void banner(const std::string& experiment, const std::string& paper_ref);

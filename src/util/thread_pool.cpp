@@ -1,12 +1,12 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace ww::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0)
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = resolve_threads(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -35,13 +35,40 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t ThreadPool::resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(n);
+  // Fail fast without dangling: after the first exception, still-queued
+  // tasks are skipped rather than run, but every future is drained before
+  // rethrowing — queued tasks reference `fn` (and `failed`), which live in
+  // this frame, so unwinding early would leave workers invoking dangling
+  // references.
+  std::atomic<bool> failed{false};
   for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();  // propagate first exception
+    futures.push_back(submit([&fn, &failed, i] {
+      if (failed.load(std::memory_order_acquire)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_release);
+        throw;
+      }
+    }));
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace ww::util

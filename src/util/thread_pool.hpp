@@ -29,6 +29,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Worker count a pool constructed with `requested` will have
+  /// (0 => hardware_concurrency, at least 1).
+  [[nodiscard]] static std::size_t resolve_threads(
+      std::size_t requested) noexcept;
+
   /// Enqueues a task; the returned future rethrows any task exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {

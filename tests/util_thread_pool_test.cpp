@@ -39,6 +39,42 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForDrainsQueueOnException) {
+  // Regression: queued tasks reference the caller's `fn`; parallel_for must
+  // drain every future before rethrowing, or workers invoke a dangling
+  // reference once the caller's frame unwinds (stack-use-after-scope, caught
+  // under ASan).
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(256,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("x");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForSkipsQueuedTasksAfterException) {
+  // Fail fast: with a single worker tasks run in submit order, so nothing
+  // queued behind the throwing task may execute.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("x");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, ResolveThreadsMatchesConstructedPool) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::resolve_threads(0));
+}
+
 TEST(ThreadPool, ManySmallTasks) {
   ThreadPool pool(8);
   std::atomic<long> total{0};

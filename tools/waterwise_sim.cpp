@@ -4,14 +4,17 @@
 // figures of merit, optionally against a Baseline run of the same trace.
 //
 //   waterwise_sim --scheduler waterwise --trace borg --days 1 --tol 0.5
-//   waterwise_sim --scheduler carbon-opt --trace alibaba --compare
-//   waterwise_sim --trace-file jobs.csv --scheduler waterwise \
+//   waterwise_sim --scheduler carbon-opt --trace alibaba --compare --jobs 2
+//   waterwise_sim --lambda-sweep 0.3,0.5,0.7 --jobs 8
+//   waterwise_sim --trace-file jobs.csv --scheduler waterwise
 //       --lambda-co2 0.7 --dataset wri --out summary.csv --jobs-out jobs_out.csv
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "core/waterwise.hpp"
+#include "dc/campaign_runner.hpp"
 #include "dc/simulator.hpp"
 #include "sched/basic.hpp"
 #include "sched/ecovisor.hpp"
@@ -39,13 +42,14 @@ std::unique_ptr<dc::Scheduler> make_scheduler(const std::string& name,
   throw std::invalid_argument("unknown scheduler '" + name + "'");
 }
 
-void write_summary_csv(const std::string& path, const dc::CampaignResult& res,
-                       const dc::CampaignResult* base) {
-  std::ofstream out(path);
-  util::CsvWriter w(out);
+void write_summary_header(util::CsvWriter& w) {
   w.write_row({"scheduler", "tol", "jobs", "carbon_g", "water_l", "cost_usd",
                "mean_service_norm", "violation_pct", "carbon_saving_pct",
                "water_saving_pct", "decision_seconds"});
+}
+
+void write_summary_row(util::CsvWriter& w, const dc::CampaignResult& res,
+                       const dc::CampaignResult* base) {
   w.write_row({res.scheduler_name, util::format_double(res.tol),
                std::to_string(res.num_jobs),
                util::format_double(res.total_carbon_g),
@@ -56,6 +60,36 @@ void write_summary_csv(const std::string& path, const dc::CampaignResult& res,
                base ? util::format_double(res.carbon_saving_pct_vs(*base)) : "",
                base ? util::format_double(res.water_saving_pct_vs(*base)) : "",
                util::format_double(res.decision_seconds_total)});
+}
+
+void write_summary_csv(const std::string& path, const dc::CampaignResult& res,
+                       const dc::CampaignResult* base) {
+  std::ofstream out(path);
+  util::CsvWriter w(out);
+  write_summary_header(w);
+  write_summary_row(w, res, base);
+}
+
+std::vector<double> parse_double_list(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(item, &pos);
+      if (pos != item.size()) throw std::invalid_argument(item);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--lambda-sweep: '" + item +
+                                  "' is not a number");
+    }
+  }
+  if (out.empty())
+    throw std::invalid_argument("expected a comma-separated number list, got '" +
+                                csv + "'");
+  return out;
 }
 
 void write_jobs_csv(const std::string& path, const dc::CampaignResult& res) {
@@ -95,6 +129,9 @@ int main(int argc, char** argv) {
       .define("dataset", "em | wri water dataset", "em")
       .define("out", "write a one-row summary CSV here")
       .define("jobs-out", "write per-job outcomes CSV here")
+      .define("jobs", "campaign worker threads (0 = all cores)", "1")
+      .define("lambda-sweep", "comma-separated lambda_CO2 list; runs the "
+              "sweep + Baseline as a parallel campaign")
       .define_bool("compare", "also run Baseline and report savings")
       .define_bool("help", "show this help");
 
@@ -152,15 +189,90 @@ int main(int argc, char** argv) {
     ww_cfg.lambda_cost = flags.get_double("lambda-cost", 0.0);
     ww_cfg.lambda_perf = flags.get_double("lambda-perf", 0.0);
 
+    const long jobs_flag = flags.get_long("jobs", 1);
+    if (jobs_flag < 0)
+      throw std::invalid_argument("--jobs must be >= 0 (0 = all cores)");
+    dc::CampaignConfig campaign_cfg;
+    campaign_cfg.jobs = static_cast<std::size_t>(jobs_flag);
+    campaign_cfg.seed = static_cast<std::uint64_t>(flags.get_long("seed", 7));
+
+    // --- lambda-sweep campaign mode -----------------------------------------
+    if (flags.has("lambda-sweep")) {
+      if (flags.has("jobs-out"))
+        throw std::invalid_argument(
+            "--jobs-out is per-run output; not supported with --lambda-sweep");
+      if (flags.has("scheduler"))
+        throw std::invalid_argument(
+            "--lambda-sweep always sweeps WaterWise vs Baseline; "
+            "--scheduler is not supported");
+      if (flags.get_bool("compare"))
+        throw std::invalid_argument(
+            "--lambda-sweep already compares against Baseline; "
+            "--compare is not supported");
+      sim_cfg.record_jobs = false;  // no per-job consumers in sweep mode
+      const auto lambdas = parse_double_list(flags.get("lambda-sweep"));
+      dc::CampaignRunner runner(campaign_cfg);
+      runner.add_baseline("", "Baseline", [&](dc::ScenarioContext&) {
+        sched::BaselineScheduler baseline;
+        dc::Simulator s(env, footprint, sim_cfg);
+        return s.run(jobs, baseline);
+      });
+      for (const double lambda : lambdas) {
+        runner.add("waterwise lambda_CO2=" + util::Table::fixed(lambda, 2),
+                   [&, lambda](dc::ScenarioContext&) {
+                     core::WaterWiseConfig cfg = ww_cfg;
+                     cfg.lambda_co2 = lambda;
+                     cfg.lambda_h2o = 1.0 - lambda;
+                     core::WaterWiseScheduler ww(cfg);
+                     dc::Simulator s(env, footprint, sim_cfg);
+                     return s.run(jobs, ww);
+                   });
+      }
+      std::cout << "Running " << runner.size() << "-scenario lambda sweep on "
+                << jobs.size() << " jobs (--jobs "
+                << (campaign_cfg.jobs == 0 ? std::string("all cores")
+                                           : std::to_string(campaign_cfg.jobs))
+                << ")...\n";
+      const auto outcomes = runner.run_all();
+      dc::CampaignRunner::aggregate(outcomes).print(std::cout);
+      if (flags.has("out")) {
+        std::ofstream csv(flags.get("out"));
+        util::CsvWriter w(csv);
+        write_summary_header(w);
+        for (const auto& o : outcomes) {
+          dc::CampaignResult labelled = o.result;
+          labelled.scheduler_name = o.label;  // distinguishes the lambdas
+          write_summary_row(w, labelled,
+                            o.baseline ? nullptr : &outcomes[0].result);
+        }
+      }
+      return 0;
+    }
+
     const auto scheduler = make_scheduler(flags.get("scheduler"), ww_cfg);
     std::cout << "Running " << scheduler->name() << " on " << jobs.size()
               << " jobs (tol " << sim_cfg.tol * 100 << "%)...\n";
-    const dc::CampaignResult res = sim.run(jobs, *scheduler);
 
+    dc::CampaignResult res;
     std::unique_ptr<dc::CampaignResult> base;
     if (flags.get_bool("compare") && flags.get("scheduler") != "baseline") {
-      sched::BaselineScheduler baseline;
-      base = std::make_unique<dc::CampaignResult>(sim.run(jobs, baseline));
+      // Main run and Baseline are independent scenarios; --jobs 2 overlaps
+      // them on two cores.
+      dc::CampaignRunner runner(campaign_cfg);
+      runner.add(flags.get("scheduler"), [&](dc::ScenarioContext&) {
+        dc::Simulator s(env, footprint, sim_cfg);
+        return s.run(jobs, *scheduler);
+      });
+      runner.add_baseline("", "baseline", [&](dc::ScenarioContext&) {
+        sched::BaselineScheduler baseline;
+        dc::Simulator s(env, footprint, sim_cfg);
+        return s.run(jobs, baseline);
+      });
+      auto outcomes = runner.run_all();
+      res = std::move(outcomes[0].result);
+      base = std::make_unique<dc::CampaignResult>(std::move(outcomes[1].result));
+    } else {
+      res = sim.run(jobs, *scheduler);
     }
 
     // --- report -------------------------------------------------------------
