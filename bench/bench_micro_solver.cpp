@@ -1,13 +1,20 @@
 // Microbenchmarks (google-benchmark): MILP solve latency at WaterWise batch
 // sizes, capacity-timeline operations, and footprint evaluation — the hot
 // paths behind the Fig. 13 overhead numbers.
+//
+// Before the benchmark loop runs, a warm-start self-check solves a
+// branching-heavy corpus twice (warm vs. cold) and verifies the acceptance
+// bar: >= 90% of non-root nodes warm-started with identical objectives.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common.hpp"
 #include "dc/capacity_timeline.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "milp/instances.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -46,18 +53,118 @@ milp::Model waterwise_shaped_model(int jobs, int regions, util::Rng& rng) {
   return m;
 }
 
+/// Branching-heavy instance shared with tests/milp_warm_start_test.cpp (via
+/// milp/instances.hpp) so the bench self-check and the test corpus exercise
+/// the exact same weak-relaxation pathology.
+milp::Model branching_heavy_model(int jobs, int regions) {
+  const double cap = std::ceil(jobs / static_cast<double>(regions)) + 1.0;
+  return milp::weak_relaxation_model(jobs, regions, cap, /*seed=*/7);
+}
+
+/// Verifies the warm-start acceptance bar before benchmarks run; exits
+/// nonzero on any regression so CI smoke runs catch it.
+void warm_start_selfcheck() {
+  long warm_total = 0;
+  long non_root_total = 0;
+  bool ok = true;
+  for (const int jobs : {10, 16, 24}) {
+    const milp::Model model = branching_heavy_model(jobs, 3);
+    milp::SolverOptions warm_opts;  // warm_start defaults on
+    const milp::Solution warm = milp::solve(model, warm_opts);
+    milp::SolverOptions cold_opts;
+    cold_opts.warm_start = false;
+    const milp::Solution cold = milp::solve(model, cold_opts);
+    if (warm.status != milp::Status::Optimal ||
+        cold.status != milp::Status::Optimal ||
+        std::abs(warm.objective - cold.objective) > 1e-7) {
+      std::fprintf(stderr,
+                   "warm-start self-check FAILED (jobs=%d): warm %s %.9f vs "
+                   "cold %s %.9f\n",
+                   jobs, milp::to_string(warm.status).c_str(), warm.objective,
+                   milp::to_string(cold.status).c_str(), cold.objective);
+      ok = false;
+      continue;
+    }
+    warm_total += warm.warm_started_nodes;
+    non_root_total += warm.nodes_explored - 1;
+  }
+  if (non_root_total == 0) {
+    // A corpus that never branches would make the check pass vacuously —
+    // the exact rot this gate exists to catch.
+    std::fprintf(stderr,
+                 "warm-start self-check FAILED: corpus produced no non-root "
+                 "nodes, warm path unexercised\n");
+    ok = false;
+  }
+  const double frac = non_root_total > 0
+                          ? static_cast<double>(warm_total) /
+                                static_cast<double>(non_root_total)
+                          : 0.0;
+  std::printf(
+      "warm-start self-check: %ld/%ld non-root nodes warm-started (%.1f%%), "
+      "objectives identical to cold solver\n",
+      warm_total, non_root_total, 100.0 * frac);
+  if (frac < 0.9) {
+    std::fprintf(stderr, "warm-start self-check FAILED: %.1f%% < 90%%\n",
+                 100.0 * frac);
+    ok = false;
+  }
+  if (!ok) std::exit(1);
+}
+
+void solve_with_counters(benchmark::State& state, const milp::Model& model,
+                         const milp::SolverOptions& opts) {
+  long nodes = 0;
+  long warm = 0;
+  long phase1 = 0;
+  long iters = 0;
+  for (auto _ : state) {
+    const milp::Solution sol = milp::solve(model, opts);
+    benchmark::DoNotOptimize(sol.objective);
+    if (!sol.usable()) state.SkipWithError("solver failed");
+    nodes += sol.nodes_explored;
+    warm += sol.warm_started_nodes;
+    phase1 += sol.phase1_nodes;
+    iters += sol.simplex_iterations;
+  }
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
+  state.counters["warm"] =
+      benchmark::Counter(static_cast<double>(warm), benchmark::Counter::kAvgIterations);
+  state.counters["phase1"] =
+      benchmark::Counter(static_cast<double>(phase1), benchmark::Counter::kAvgIterations);
+  state.counters["simplex_it"] =
+      benchmark::Counter(static_cast<double>(iters), benchmark::Counter::kAvgIterations);
+}
+
 void BM_MilpSolveBatch(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
   util::Rng rng(42);
   const milp::Model model = waterwise_shaped_model(jobs, 5, rng);
-  for (auto _ : state) {
-    const milp::Solution sol = milp::solve(model);
-    benchmark::DoNotOptimize(sol.objective);
-    if (!sol.usable()) state.SkipWithError("solver failed");
-  }
+  solve_with_counters(state, model, {});
   state.SetLabel(std::to_string(jobs) + " jobs x 5 regions");
 }
 BENCHMARK(BM_MilpSolveBatch)->Arg(8)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpBranchingWarm(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const milp::Model model = branching_heavy_model(jobs, 3);
+  solve_with_counters(state, model, {});
+  state.SetLabel(std::to_string(jobs) + " jobs x 3 regions, warm");
+}
+BENCHMARK(BM_MilpBranchingWarm)->Arg(10)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpBranchingCold(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const milp::Model model = branching_heavy_model(jobs, 3);
+  milp::SolverOptions opts;
+  opts.warm_start = false;
+  solve_with_counters(state, model, opts);
+  state.SetLabel(std::to_string(jobs) + " jobs x 3 regions, cold");
+}
+BENCHMARK(BM_MilpBranchingCold)->Arg(10)->Arg(16)->Arg(24)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CapacityTimelineReserve(benchmark::State& state) {
@@ -100,4 +207,11 @@ BENCHMARK(BM_EnvironmentQuery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  warm_start_selfcheck();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

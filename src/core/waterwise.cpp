@@ -160,7 +160,6 @@ milp::Solution WaterWiseScheduler::run_model(
     }
   }
 
-  ++milp_solves_;
   milp::SolverOptions options = config_.solver;
   if (!soft) {
     // The hard model is a feasibility probe: when its LP relaxation is
@@ -174,7 +173,14 @@ milp::Solution WaterWiseScheduler::run_model(
     options.max_nodes = std::min<long>(options.max_nodes, 200);
     options.time_limit_seconds = std::min(options.time_limit_seconds, 0.5);
   }
-  return milp::solve(model, options);
+  milp::Solution sol = milp::solve(model, options);
+  ++stats_.milp_solves;
+  stats_.nodes_explored += sol.nodes_explored;
+  stats_.simplex_iterations += sol.simplex_iterations;
+  stats_.warm_started_nodes += sol.warm_started_nodes;
+  stats_.phase1_nodes += sol.phase1_nodes;
+  stats_.solve_seconds += sol.solve_seconds;
+  return sol;
 }
 
 void WaterWiseScheduler::solve_chunk(
@@ -189,7 +195,7 @@ void WaterWiseScheduler::solve_chunk(
     sol = run_model(chunk, caps, ctx, /*soft=*/false, &num_x);
     if (!sol.usable()) {
       // Algorithm 1, lines 10-11: soften and retry.
-      ++soft_fallbacks_;
+      ++stats_.soft_fallbacks;
       used_soft = true;
       sol = run_model(chunk, caps, ctx, /*soft=*/true, &num_x);
     }

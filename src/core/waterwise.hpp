@@ -58,6 +58,35 @@ struct WaterWiseConfig {
   }();
 };
 
+/// Aggregate Decision-Controller solver diagnostics over the scheduler's
+/// lifetime: how many MILPs ran, how big the trees were, and how much of
+/// the tree the warm-start path covered (Fig. 13 overhead attribution).
+struct SchedulerStats {
+  long milp_solves = 0;
+  long soft_fallbacks = 0;       ///< Hard model failed, soft model ran.
+  long nodes_explored = 0;       ///< Branch-and-bound nodes across solves.
+  long simplex_iterations = 0;
+  long warm_started_nodes = 0;   ///< Nodes re-solved from a parent basis.
+  long phase1_nodes = 0;         ///< Nodes that needed phase-1 artificials.
+  double solve_seconds = 0.0;    ///< Wall-clock inside milp::solve.
+
+  /// Non-root branch-and-bound nodes across all solves (the population the
+  /// warm-start path can cover); 0 when no tree ever branched.
+  [[nodiscard]] long non_root_nodes() const noexcept {
+    return nodes_explored > milp_solves ? nodes_explored - milp_solves : 0;
+  }
+  /// Fraction of non-root nodes the warm-start path covered, in [0, 1].
+  /// 0 when nothing branched — report the raw counters alongside so a
+  /// branch-free workload is not mistaken for missing warm coverage.
+  [[nodiscard]] double warm_start_fraction() const noexcept {
+    const long non_root = non_root_nodes();
+    return non_root > 0
+               ? static_cast<double>(warm_started_nodes) /
+                     static_cast<double>(non_root)
+               : 0.0;
+  }
+};
+
 class WaterWiseScheduler final : public dc::Scheduler {
  public:
   explicit WaterWiseScheduler(WaterWiseConfig config = {});
@@ -71,10 +100,14 @@ class WaterWiseScheduler final : public dc::Scheduler {
   [[nodiscard]] const WaterWiseConfig& config() const noexcept {
     return config_;
   }
+  /// Lifetime solver diagnostics (accumulated over every schedule() call).
+  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
   /// Batches where the hard model failed and the soft model ran (Alg. 1
   /// lines 10-11); diagnostic for tests and the ablation bench.
-  [[nodiscard]] long soft_fallbacks() const noexcept { return soft_fallbacks_; }
-  [[nodiscard]] long milp_solves() const noexcept { return milp_solves_; }
+  [[nodiscard]] long soft_fallbacks() const noexcept {
+    return stats_.soft_fallbacks;
+  }
+  [[nodiscard]] long milp_solves() const noexcept { return stats_.milp_solves; }
 
  private:
   /// Solves one chunk of at most max_jobs_per_solve jobs against the
@@ -91,8 +124,7 @@ class WaterWiseScheduler final : public dc::Scheduler {
 
   WaterWiseConfig config_;
   std::unique_ptr<HistoryLearner> history_;
-  long soft_fallbacks_ = 0;
-  long milp_solves_ = 0;
+  SchedulerStats stats_;
 };
 
 }  // namespace ww::core

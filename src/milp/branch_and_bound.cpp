@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "util/timer.hpp"
@@ -11,11 +13,38 @@ namespace ww::milp {
 
 namespace {
 
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
-  double bound;  ///< Parent LP objective: a valid lower bound for this node.
+  double bound = kNegInf;  ///< Parent LP objective: valid lower bound here.
   int depth = 0;
+  long seq = 0;            ///< Creation order, for deterministic tie-breaks.
+  int branch_var = -1;     ///< Variable whose bound this node tightened.
+  bool branch_up = false;  ///< True for the x >= ceil(v) child.
+  double branch_frac = 0.0;  ///< Fractional distance the branch rounded away.
+  double parent_obj = 0.0;   ///< Parent LP objective (pseudocost updates).
+  /// Parent's optimal basis; shared by both children, replayed via the
+  /// dual simplex so the child LP skips phase 1.
+  std::shared_ptr<const SimplexSolver::WarmStartBasis> warm;
+};
+
+/// Heap comparator: "a is worse than b".  Best-first pops the smallest
+/// bound; ties prefer deeper (diving) then newer nodes, deterministically.
+bool worse_node(const Node& a, const Node& b) {
+  if (a.bound != b.bound) return a.bound > b.bound;
+  if (a.depth != b.depth) return a.depth < b.depth;
+  return a.seq < b.seq;
+}
+
+/// Per-variable branching history: average objective degradation per unit
+/// of fractionality, kept separately for the down and up directions.
+struct Pseudocost {
+  double down_sum = 0.0;
+  double up_sum = 0.0;
+  long down_n = 0;
+  long up_n = 0;
 };
 
 std::string to_string_impl(Status s) {
@@ -51,8 +80,25 @@ Solution BranchAndBound::solve() {
   double incumbent = std::numeric_limits<double>::infinity();
   long nodes = 0;
   long total_iterations = 0;
-  bool limits_hit = false;
-  double root_bound = -std::numeric_limits<double>::infinity();
+  long warm_nodes = 0;
+  long phase1_nodes = 0;
+  long next_seq = 0;
+  bool limits_hit = false;        ///< Node/time budget exhausted.
+  bool subtree_dropped = false;   ///< A node LP hit its iteration limit.
+  double root_bound = kNegInf;
+  /// Bounds of nodes we could not resolve (limits); folded into best_bound
+  /// so an abandoned subtree can never make the reported bound overstate
+  /// the true optimum.
+  double unresolved_bound = std::numeric_limits<double>::infinity();
+
+  // Pseudocosts seeded from objective magnitudes: before a variable has
+  // branching history, a larger |cost| is the best available proxy for the
+  // objective movement its rounding will cause.
+  std::vector<Pseudocost> pseudo(static_cast<std::size_t>(n));
+  std::vector<double> pseudo_seed(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j)
+    pseudo_seed[static_cast<std::size_t>(j)] =
+        1e-6 + std::abs(model_.variable(j).objective);
 
   Node root;
   root.lower.resize(static_cast<std::size_t>(n));
@@ -61,27 +107,73 @@ Solution BranchAndBound::solve() {
     root.lower[static_cast<std::size_t>(j)] = model_.variable(j).lower;
     root.upper[static_cast<std::size_t>(j)] = model_.variable(j).upper;
   }
-  root.bound = -std::numeric_limits<double>::infinity();
+  root.seq = next_seq++;
 
-  std::vector<Node> stack;
-  stack.push_back(std::move(root));
+  // Open nodes: a binary heap under best-first selection, a plain stack
+  // under DFS.  `current` carries the preferred child of the node just
+  // branched, so both modes dive toward an incumbent before backtracking.
+  std::vector<Node> open;
+  std::optional<Node> current(std::move(root));
+  const bool best_first = options_.best_first;
 
-  while (!stack.empty()) {
+  auto pop_open = [&]() -> Node {
+    if (best_first)
+      std::pop_heap(open.begin(), open.end(), worse_node);
+    Node nd = std::move(open.back());
+    open.pop_back();
+    return nd;
+  };
+  auto push_open = [&](Node&& nd) {
+    open.push_back(std::move(nd));
+    if (best_first) std::push_heap(open.begin(), open.end(), worse_node);
+  };
+
+  for (;;) {
+    Node node;
+    bool from_heap = false;
+    if (current) {
+      node = std::move(*current);
+      current.reset();
+    } else if (!open.empty()) {
+      node = pop_open();
+      from_heap = true;
+    } else {
+      break;
+    }
+
     if (nodes >= options_.max_nodes ||
         watch.elapsed_seconds() > options_.time_limit_seconds) {
+      // Budget exhausted: fold the in-hand node and every open node into
+      // the unresolved bound in one pass (the limit can't un-trip, so
+      // popping them through the heap would be pure teardown cost).
       limits_hit = true;
+      unresolved_bound = std::min(unresolved_bound, node.bound);
+      for (const Node& nd : open)
+        unresolved_bound = std::min(unresolved_bound, nd.bound);
+      open.clear();
       break;
     }
     const double prune_margin =
         std::max(options_.mip_gap_abs,
                  options_.mip_gap_rel * std::abs(incumbent));
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    if (node.bound >= incumbent - prune_margin) continue;  // pruned
+    if (node.bound >= incumbent - prune_margin) {
+      // Pruned.  When this node came off the best-first heap, its bound is
+      // the minimum of the open set and the incumbent only improves, so
+      // every remaining open node is pruned too — discard them wholesale.
+      // (A dive child in `current` proves nothing about the heap.)
+      if (best_first && from_heap) {
+        open.clear();
+        break;
+      }
+      continue;
+    }
 
     ++nodes;
-    const Solution relax = lp.solve_with_bounds(node.lower, node.upper);
+    const Solution relax =
+        lp.solve_with_bounds(node.lower, node.upper, node.warm.get());
     total_iterations += relax.simplex_iterations;
+    warm_nodes += relax.warm_started_nodes;
+    phase1_nodes += relax.phase1_nodes;
     if (relax.status == Status::Infeasible) continue;
     if (relax.status == Status::Unbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded or
@@ -91,25 +183,63 @@ Solution BranchAndBound::solve() {
       sol.status = Status::Unbounded;
       sol.nodes_explored = nodes;
       sol.simplex_iterations = total_iterations;
+      sol.warm_started_nodes = warm_nodes;
+      sol.phase1_nodes = phase1_nodes;
       sol.solve_seconds = watch.elapsed_seconds();
       return sol;
     }
     if (relax.status == Status::IterationLimit) {
-      limits_hit = true;
+      // The subtree is unresolved, not pruned: its parent bound must keep
+      // weighing on best_bound or the final bound would overstate.
+      subtree_dropped = true;
+      unresolved_bound = std::min(unresolved_bound, node.bound);
       continue;
     }
     if (nodes == 1) root_bound = relax.objective;
+
+    // Pseudocost update: objective degradation of this branch per unit of
+    // the fractionality it rounded away.
+    if (node.branch_var >= 0) {
+      const auto bv = static_cast<std::size_t>(node.branch_var);
+      const double gain =
+          std::max(0.0, relax.objective - node.parent_obj) /
+          std::max(node.branch_frac, 1e-9);
+      if (node.branch_up) {
+        pseudo[bv].up_sum += gain;
+        ++pseudo[bv].up_n;
+      } else {
+        pseudo[bv].down_sum += gain;
+        ++pseudo[bv].down_n;
+      }
+    }
     if (relax.objective >= incumbent - prune_margin) continue;
 
-    // Most-fractional branching variable.
+    // Branching variable: highest pseudocost-estimated degradation product,
+    // falling back to the seed estimate where no history exists yet.
     int branch_var = -1;
-    double worst_frac = options_.integrality_tolerance;
+    double best_score = -1.0;
+    double best_frac = 0.0;
     for (int j = 0; j < n; ++j) {
       if (!is_int[static_cast<std::size_t>(j)]) continue;
-      const double v = relax.values[static_cast<std::size_t>(j)];
-      const double frac = std::abs(v - std::round(v));
-      if (frac > worst_frac) {
-        worst_frac = frac;
+      const auto ju = static_cast<std::size_t>(j);
+      const double v = relax.values[ju];
+      const double f_down = v - std::floor(v);
+      const double frac = std::min(f_down, 1.0 - f_down);
+      if (frac <= options_.integrality_tolerance) continue;
+      const double down_est =
+          pseudo[ju].down_n
+              ? pseudo[ju].down_sum / static_cast<double>(pseudo[ju].down_n)
+              : pseudo_seed[ju];
+      const double up_est =
+          pseudo[ju].up_n
+              ? pseudo[ju].up_sum / static_cast<double>(pseudo[ju].up_n)
+              : pseudo_seed[ju];
+      const double score = (down_est * f_down + 1e-9) *
+                           (up_est * (1.0 - f_down) + 1e-9);
+      if (score > best_score ||
+          (score == best_score && frac > best_frac)) {
+        best_score = score;
+        best_frac = frac;
         branch_var = j;
       }
     }
@@ -130,6 +260,14 @@ Solution BranchAndBound::solve() {
       continue;
     }
 
+    std::shared_ptr<const SimplexSolver::WarmStartBasis> snap;
+    if (options_.warm_start) {
+      auto basis = lp.capture_basis();
+      if (basis.valid())
+        snap = std::make_shared<const SimplexSolver::WarmStartBasis>(
+            std::move(basis));
+    }
+
     const auto bu = static_cast<std::size_t>(branch_var);
     const double v = relax.values[bu];
     const double fl = std::floor(v);
@@ -138,31 +276,47 @@ Solution BranchAndBound::solve() {
     down.upper[bu] = fl;
     down.bound = relax.objective;
     down.depth = node.depth + 1;
+    down.branch_var = branch_var;
+    down.branch_up = false;
+    down.branch_frac = v - fl;
+    down.parent_obj = relax.objective;
+    down.warm = snap;
 
     Node up = std::move(node);  // x >= floor(v) + 1
     up.lower[bu] = fl + 1.0;
     up.bound = relax.objective;
     up.depth = down.depth;
+    up.branch_var = branch_var;
+    up.branch_up = true;
+    up.branch_frac = fl + 1.0 - v;
+    up.parent_obj = relax.objective;
+    up.warm = std::move(snap);
 
-    // Dive toward the nearest integer first (explored last-pushed-first).
+    // Dive toward the nearest integer first; the sibling joins the open set.
     if (v - fl < 0.5) {
-      stack.push_back(std::move(up));
-      stack.push_back(std::move(down));
+      up.seq = next_seq++;
+      down.seq = next_seq++;
+      push_open(std::move(up));
+      current = std::move(down);
     } else {
-      stack.push_back(std::move(down));
-      stack.push_back(std::move(up));
+      down.seq = next_seq++;
+      up.seq = next_seq++;
+      push_open(std::move(down));
+      current = std::move(up);
     }
   }
 
   best.nodes_explored = nodes;
   best.simplex_iterations = total_iterations;
+  best.warm_started_nodes = warm_nodes;
+  best.phase1_nodes = phase1_nodes;
   best.solve_seconds = watch.elapsed_seconds();
-  if (limits_hit) {
-    best.status = Status::NodeLimit;
-    // Remaining open nodes bound the optimum from below.
-    double open_bound = incumbent;
-    for (const Node& nd : stack) open_bound = std::min(open_bound, nd.bound);
-    best.best_bound = std::min(open_bound, incumbent);
+  if (limits_hit || subtree_dropped) {
+    // NodeLimit when the tree budget stopped us; IterationLimit when the
+    // tree was exhausted but some node LP could not be resolved.  Either
+    // way the unresolved bounds cap the proven bound.
+    best.status = limits_hit ? Status::NodeLimit : Status::IterationLimit;
+    best.best_bound = std::min(unresolved_bound, incumbent);
   } else if (best.has_incumbent) {
     best.status = Status::Optimal;
     best.best_bound = best.objective;

@@ -1,12 +1,19 @@
 // Branch-and-bound over the bounded-variable simplex.
 //
-// Depth-first diving with round-to-nearest child ordering finds an incumbent
-// quickly; nodes are pruned against the incumbent using the LP relaxation
-// bound.  WaterWise's scheduling program (assignment + capacity rows) is
+// Node selection is best-first (priority queue on the node's LP bound) with
+// diving: after branching, the child nearest the fractional value is solved
+// immediately, so incumbents appear as fast as under pure DFS while the
+// backtracking order still favours the strongest bounds.  Branching uses
+// pseudocosts seeded from objective magnitudes.  Child nodes differ from
+// their parent by one tightened bound, so they re-solve from the parent's
+// snapshotted basis via the dual simplex (no phase 1); see simplex.hpp.
+// Both behaviours have SolverOptions kill switches (best_first, warm_start).
+//
+// WaterWise's scheduling program (assignment + capacity rows) is
 // near-transportation, so relaxations are almost always integral and the tree
 // rarely branches — the machinery exists for correctness when the delay rows
-// or penalty terms break integrality, and is stress-tested on knapsack
-// instances where branching is mandatory.
+// or penalty terms break integrality, and is stress-tested on knapsack and
+// weak-relaxation soft-penalty instances where branching is mandatory.
 #pragma once
 
 #include "milp/model.hpp"

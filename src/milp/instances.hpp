@@ -1,0 +1,51 @@
+// Shared MILP instance generators for stress tests and benchmarks.
+//
+// These builders produce the model families the solver is hardened
+// against; tests and benches must exercise the *same* instances, so the
+// generators live here rather than being copied into each harness.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.hpp"
+#include "util/rng.hpp"
+
+namespace ww::milp {
+
+/// Weak-relaxation soft-penalty model (the WaterWise pathology of Alg. 1's
+/// softened delay rows): per-job assignment binaries with random remote
+/// penalties absorbed by a cheap continuous excess variable.  The LP
+/// relaxation is fractional nearly everywhere, so branch-and-bound builds a
+/// deep tree — the workload the warm-start path exists to accelerate.
+inline Model weak_relaxation_model(int jobs, int regions, double cap,
+                                   std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  Model m;
+  std::vector<int> x(static_cast<std::size_t>(jobs * regions));
+  for (int j = 0; j < jobs; ++j)
+    for (int r = 0; r < regions; ++r)
+      x[static_cast<std::size_t>(j * regions + r)] =
+          m.add_binary("x", rng.uniform(0.2, 1.0));
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<Term> t;
+    for (int r = 0; r < regions; ++r)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
+    (void)m.add_constraint("a", std::move(t), Sense::Equal, 1.0);
+    std::vector<Term> d;
+    for (int r = 1; r < regions; ++r)
+      d.push_back({x[static_cast<std::size_t>(j * regions + r)],
+                   rng.uniform(50.0, 400.0)});
+    const int p = m.add_continuous("p", 0.0, kInfinity, 0.5);
+    d.push_back({p, -1.0});
+    (void)m.add_constraint("soft", std::move(d), Sense::LessEqual, 20.0);
+  }
+  for (int r = 0; r < regions; ++r) {
+    std::vector<Term> t;
+    for (int j = 0; j < jobs; ++j)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
+    (void)m.add_constraint("c", std::move(t), Sense::LessEqual, cap);
+  }
+  return m;
+}
+
+}  // namespace ww::milp

@@ -248,23 +248,45 @@ void SimplexSolver::btran(const std::vector<double>& cb,
   }
 }
 
+long SimplexSolver::bland_threshold() const noexcept {
+  return options_.bland_iterations > 0
+             ? options_.bland_iterations
+             : 1000 + 20L * static_cast<long>(cols_.size());
+}
+
+bool SimplexSolver::begin_iteration(long& since_refactor) {
+  if (iterations_this_solve_ >= options_.max_iterations) return false;
+  ++iterations_;
+  ++iterations_this_solve_;
+  if (iterations_this_solve_ >= bland_threshold()) use_bland_ = true;
+  if (++since_refactor >= options_.refactor_interval) {
+    refactorize();
+    since_refactor = 0;
+  }
+  return true;
+}
+
+void SimplexSolver::product_form_update(std::size_t lu) {
+  const auto mu = static_cast<std::size_t>(m_);
+  const double inv_piv = 1.0 / w_[lu];
+  for (std::size_t k = 0; k < mu; ++k) binv_[lu * mu + k] *= inv_piv;
+  for (std::size_t i = 0; i < mu; ++i) {
+    if (i == lu) continue;
+    const double f = w_[i];
+    if (f == 0.0) continue;
+    for (std::size_t k = 0; k < mu; ++k)
+      binv_[i * mu + k] -= f * binv_[lu * mu + k];
+  }
+}
+
 SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase1) {
   const double tol = options_.pivot_tolerance;
   const auto mu = static_cast<std::size_t>(m_);
-  const long bland_threshold = 1000 + 20L * static_cast<long>(cols_.size());
   long since_refactor = 0;
 
   std::vector<double> cb(mu, 0.0);
   for (;;) {
-    if (iterations_this_solve_ >= options_.max_iterations)
-      return LoopResult::IterationLimit;
-    ++iterations_;
-    ++iterations_this_solve_;
-    if (iterations_this_solve_ > bland_threshold) use_bland_ = true;
-    if (++since_refactor >= options_.refactor_interval) {
-      refactorize();
-      since_refactor = 0;
-    }
+    if (!begin_iteration(since_refactor)) return LoopResult::IterationLimit;
 
     for (std::size_t i = 0; i < mu; ++i)
       cb[i] = phase_cost_[static_cast<std::size_t>(basis_[i])];
@@ -339,7 +361,10 @@ SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase
            (use_bland_ ? basis_[i] < basis_[static_cast<std::size_t>(leaving)]
                        : std::abs(w_[i]) >
                              std::abs(w_[static_cast<std::size_t>(leaving)])))) {
-        t_max = limit;
+        // A tie-break replacement may carry limit in [t_max, t_max + tol);
+        // clamp so the step length never grows, which would push the
+        // previously chosen leaving variable past its bound by up to tol.
+        t_max = std::min(t_max, limit);
         leaving = static_cast<int>(i);
         leaving_to_upper = to_upper;
       }
@@ -377,22 +402,179 @@ SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase
     xb_[lu] = enter_value;
 
     // Product-form update of binv_: pivot on w_[leaving].
+    if (std::abs(w_[lu]) < 1e-11) {
+      refactorize();
+      since_refactor = 0;
+      continue;
+    }
+    product_form_update(lu);
+  }
+}
+
+SimplexSolver::LoopResult SimplexSolver::run_dual_simplex() {
+  const double tol = options_.pivot_tolerance;
+  const double ftol = options_.feasibility_tolerance;
+  const auto mu = static_cast<std::size_t>(m_);
+  long since_refactor = 0;
+
+  std::vector<double> cb(mu, 0.0);
+  for (;;) {
+    if (!begin_iteration(since_refactor)) return LoopResult::IterationLimit;
+
+    // --- leaving row: the basic variable most outside its bounds ---------
+    // (Bland mode: the violated row whose basic column has the smallest
+    // index, for guaranteed termination under degeneracy.)
+    int leaving = -1;
+    bool exit_at_lower = false;  // bound the leaving variable exits at
+    double worst = ftol;
+    for (std::size_t i = 0; i < mu; ++i) {
+      const auto bj = static_cast<std::size_t>(basis_[i]);
+      const double below = lb_[bj] - xb_[i];
+      const double above = xb_[i] - ub_[bj];
+      const double viol = std::max(below, above);
+      if (viol <= ftol) continue;
+      const bool take =
+          use_bland_
+              ? (leaving < 0 ||
+                 basis_[i] < basis_[static_cast<std::size_t>(leaving)])
+              : viol > worst;
+      if (take) {
+        worst = viol;
+        leaving = static_cast<int>(i);
+        exit_at_lower = below > above;
+      }
+    }
+    if (leaving < 0) return LoopResult::Optimal;  // primal feasible
+
+    const auto lu = static_cast<std::size_t>(leaving);
+    const auto out_col = static_cast<std::size_t>(basis_[lu]);
+    const double target = exit_at_lower ? lb_[out_col] : ub_[out_col];
+    // Entering variable moves by delta = gap / alpha_j (signed).
+    const double gap = xb_[lu] - target;
+
+    for (std::size_t i = 0; i < mu; ++i)
+      cb[i] = phase_cost_[static_cast<std::size_t>(basis_[i])];
+    btran(cb, y_);
+    const double* rho = &binv_[lu * mu];  // row `lu` of B^{-1}
+
+    // --- dual ratio test: keep reduced-cost signs valid ------------------
+    int entering = -1;
+    double best_ratio = kInf;
+    double best_alpha = 0.0;
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      const NonbasicState st = state_[j];
+      if (st == NonbasicState::Basic) continue;
+      if (lb_[j] == ub_[j]) continue;  // fixed column cannot leave its bound
+      const auto& col = cols_[j];
+      double alpha = 0.0;
+      for (std::size_t k = 0; k < col.rows.size(); ++k)
+        alpha += rho[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+      if (std::abs(alpha) <= tol) continue;
+      // delta must move the entering variable off its bound feasibly:
+      // up from a lower bound, down from an upper bound, either from free.
+      const double delta = gap / alpha;
+      if (st == NonbasicState::AtLower && delta < 0.0) continue;
+      if (st == NonbasicState::AtUpper && delta > 0.0) continue;
+      double d = phase_cost_[j];
+      for (std::size_t k = 0; k < col.rows.size(); ++k)
+        d -= y_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+      const double ratio = std::abs(d) / std::abs(alpha);
+      const bool take =
+          entering < 0 || ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol &&
+           (use_bland_ ? static_cast<int>(j) < entering
+                       : std::abs(alpha) > std::abs(best_alpha)));
+      if (take) {
+        best_ratio = std::min(best_ratio, ratio);
+        best_alpha = alpha;
+        entering = static_cast<int>(j);
+      }
+    }
+    if (entering < 0) {
+      // Row `lu` cannot be repaired by any nonbasic movement: the bound
+      // violation is structural, i.e. the LP is infeasible.
+      return LoopResult::Infeasible;
+    }
+
+    // --- pivot -----------------------------------------------------------
+    const auto eu = static_cast<std::size_t>(entering);
+    ftran(cols_[eu], w_);
     const double piv = w_[lu];
     if (std::abs(piv) < 1e-11) {
       refactorize();
       since_refactor = 0;
       continue;
     }
-    const double inv_piv = 1.0 / piv;
-    for (std::size_t k = 0; k < mu; ++k) binv_[lu * mu + k] *= inv_piv;
-    for (std::size_t i = 0; i < mu; ++i) {
-      if (i == lu) continue;
-      const double f = w_[i];
-      if (f == 0.0) continue;
-      for (std::size_t k = 0; k < mu; ++k)
-        binv_[i * mu + k] -= f * binv_[lu * mu + k];
-    }
+    const double delta = gap / piv;
+    const double enter_start = nonbasic_value(entering);
+    for (std::size_t i = 0; i < mu; ++i) xb_[i] -= delta * w_[i];
+
+    state_[out_col] =
+        exit_at_lower ? NonbasicState::AtLower : NonbasicState::AtUpper;
+    basis_[lu] = entering;
+    state_[eu] = NonbasicState::Basic;
+    xb_[lu] = enter_start + delta;
+
+    product_form_update(lu);
   }
+}
+
+SimplexSolver::WarmStartBasis SimplexSolver::capture_basis() const {
+  WarmStartBasis snap;
+  if (!basis_capturable_ || m_ == 0) return snap;
+  const int n = n_struct_ + n_logic_;
+  for (int i = 0; i < m_; ++i)
+    if (basis_[static_cast<std::size_t>(i)] >= n) return snap;  // artificial
+  snap.basis = basis_;
+  snap.state.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j)
+    snap.state[static_cast<std::size_t>(j)] =
+        static_cast<unsigned char>(state_[static_cast<std::size_t>(j)]);
+  return snap;
+}
+
+bool SimplexSolver::try_install_warm_basis(const WarmStartBasis& warm) {
+  const int n = n_struct_ + n_logic_;
+  if (static_cast<int>(warm.basis.size()) != m_ ||
+      static_cast<int>(warm.state.size()) != n)
+    return false;
+  std::vector<char> in_basis(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < m_; ++i) {
+    const int bj = warm.basis[static_cast<std::size_t>(i)];
+    if (bj < 0 || bj >= n || in_basis[static_cast<std::size_t>(bj)])
+      return false;
+    in_basis[static_cast<std::size_t>(bj)] = 1;
+  }
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (in_basis[ju]) {
+      state_[ju] = NonbasicState::Basic;
+      continue;
+    }
+    auto st = static_cast<NonbasicState>(warm.state[ju]);
+    if (st == NonbasicState::Basic) return false;  // inconsistent snapshot
+    // Remap statuses invalidated by the new bounds (a finite bound from the
+    // snapshot's solve may not exist under the current overrides).
+    if (st == NonbasicState::AtLower && !std::isfinite(lb_[ju]))
+      st = std::isfinite(ub_[ju]) ? NonbasicState::AtUpper
+                                  : NonbasicState::AtZero;
+    else if (st == NonbasicState::AtUpper && !std::isfinite(ub_[ju]))
+      st = std::isfinite(lb_[ju]) ? NonbasicState::AtLower
+                                  : NonbasicState::AtZero;
+    else if (st == NonbasicState::AtZero && (lb_[ju] > 0.0 || ub_[ju] < 0.0))
+      // Zero left the feasible box (a free variable got a branching bound);
+      // park the column on the violated side's bound — the dual simplex only
+      // repairs basic violations, so a nonbasic one must not survive here.
+      st = lb_[ju] > 0.0 ? NonbasicState::AtLower : NonbasicState::AtUpper;
+    state_[ju] = st;
+  }
+  basis_ = warm.basis;
+  try {
+    refactorize();
+  } catch (const std::runtime_error&) {
+    return false;  // singular under the new bounds; caller re-runs cold
+  }
+  return true;
 }
 
 Solution SimplexSolver::solve() {
@@ -406,9 +588,11 @@ Solution SimplexSolver::solve() {
 }
 
 Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
-                                          const std::vector<double>& upper) {
+                                          const std::vector<double>& upper,
+                                          const WarmStartBasis* warm) {
   const util::Stopwatch watch;
   Solution sol;
+  basis_capturable_ = false;
   if (lower.size() != static_cast<std::size_t>(n_struct_) ||
       upper.size() != static_cast<std::size_t>(n_struct_))
     throw std::invalid_argument("SimplexSolver: bound vector size mismatch");
@@ -454,33 +638,65 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
   }
 
   reset_state(lower, upper);
-  install_initial_basis();
 
-  // ---- Phase 1: drive artificial columns to zero ---------------------------
-  if (n_art_ > 0) {
-    const LoopResult r = run_simplex(/*phase1=*/true);
+  // ---- Warm start: replay a snapshotted basis under the new bounds ---------
+  bool warm_ok = false;
+  if (options_.warm_start && warm != nullptr && warm->valid()) {
+    warm_ok = try_install_warm_basis(*warm);
+    if (!warm_ok) reset_state(lower, upper);  // wipe the partial install
+  }
+
+  if (warm_ok) {
+    phase_cost_ = cost_;
+    const LoopResult rd = run_dual_simplex();
     sol.simplex_iterations = iterations_this_solve_;
-    if (r == LoopResult::IterationLimit) {
+    if (rd == LoopResult::IterationLimit) {
+      // Not counted as warm-started: the replay never finished, so the
+      // node is dropped unresolved and must not inflate warm coverage.
       sol.status = Status::IterationLimit;
       sol.solve_seconds = watch.elapsed_seconds();
       return sol;
     }
-    double infeas = 0.0;
-    for (std::size_t i = 0; i < static_cast<std::size_t>(m_); ++i)
-      if (basis_[i] >= n_struct_ + n_logic_) infeas += std::abs(xb_[i]);
-    for (std::size_t j = static_cast<std::size_t>(n_struct_ + n_logic_);
-         j < cols_.size(); ++j)
-      if (state_[j] == NonbasicState::AtUpper) infeas += std::abs(ub_[j]);
-    if (infeas > 1e-6) {
+    if (rd == LoopResult::Infeasible) {
+      sol.warm_started_nodes = 1;  // resolved (proven infeasible) sans phase 1
       sol.status = Status::Infeasible;
       sol.solve_seconds = watch.elapsed_seconds();
       return sol;
     }
-    // Freeze artificials at zero for phase 2.
-    for (std::size_t j = static_cast<std::size_t>(n_struct_ + n_logic_);
-         j < cols_.size(); ++j) {
-      ub_[j] = 0.0;
-      if (state_[j] == NonbasicState::AtUpper) state_[j] = NonbasicState::AtLower;
+    // Primal feasible; fall through to the phase-2 primal loop, which
+    // polishes any residual dual infeasibility (it terminates immediately
+    // when the dual simplex already reached optimality).
+  } else {
+    install_initial_basis();
+
+    // ---- Phase 1: drive artificial columns to zero -------------------------
+    if (n_art_ > 0) {
+      sol.phase1_nodes = 1;
+      const LoopResult r = run_simplex(/*phase1=*/true);
+      sol.simplex_iterations = iterations_this_solve_;
+      if (r == LoopResult::IterationLimit) {
+        sol.status = Status::IterationLimit;
+        sol.solve_seconds = watch.elapsed_seconds();
+        return sol;
+      }
+      double infeas = 0.0;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(m_); ++i)
+        if (basis_[i] >= n_struct_ + n_logic_) infeas += std::abs(xb_[i]);
+      for (std::size_t j = static_cast<std::size_t>(n_struct_ + n_logic_);
+           j < cols_.size(); ++j)
+        if (state_[j] == NonbasicState::AtUpper) infeas += std::abs(ub_[j]);
+      if (infeas > 1e-6) {
+        sol.status = Status::Infeasible;
+        sol.solve_seconds = watch.elapsed_seconds();
+        return sol;
+      }
+      // Freeze artificials at zero for phase 2.
+      for (std::size_t j = static_cast<std::size_t>(n_struct_ + n_logic_);
+           j < cols_.size(); ++j) {
+        ub_[j] = 0.0;
+        if (state_[j] == NonbasicState::AtUpper)
+          state_[j] = NonbasicState::AtLower;
+      }
     }
   }
 
@@ -541,6 +757,11 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
   sol.status = Status::Optimal;
   sol.has_incumbent = true;
   sol.best_bound = sol.objective;
+  // Counted only now that the node fully resolved: a warm replay whose
+  // phase-2 polish hit the iteration limit above must not inflate the
+  // warm-coverage metric the bench self-check gates on.
+  if (warm_ok) sol.warm_started_nodes = 1;
+  basis_capturable_ = true;
   return sol;
 }
 

@@ -1,4 +1,4 @@
-// Bounded-variable revised primal simplex.
+// Bounded-variable revised primal + dual simplex.
 //
 // Linear programs are solved in the standard computational form
 //   min c^T x   s.t.  A x = b,   l <= x <= u,
@@ -11,7 +11,11 @@
 // guarantees termination on degenerate instances.
 //
 // The solver pre-builds the standard form once per Model; branch-and-bound
-// re-solves with per-node bound overrides without rebuilding.
+// re-solves with per-node bound overrides without rebuilding.  A solve that
+// ends at an optimal basis can be snapshotted (capture_basis) and replayed
+// as a warm start for a re-solve under tightened bounds: the snapshot basis
+// stays dual feasible, so the dual simplex restores primal feasibility in a
+// handful of pivots and phase 1 is skipped entirely.
 #pragma once
 
 #include <optional>
@@ -26,13 +30,33 @@ class SimplexSolver {
  public:
   SimplexSolver(const Model& model, SolverOptions options = {});
 
+  /// Opaque snapshot of an optimal basis: the basic column per row plus the
+  /// bound status of every structural + logical column.  Artificial columns
+  /// are never part of a snapshot.  Cheap to copy and share between the two
+  /// children of a branch-and-bound node.
+  struct WarmStartBasis {
+    std::vector<int> basis;            ///< Basic column index per row.
+    std::vector<unsigned char> state;  ///< NonbasicState per column.
+    [[nodiscard]] bool valid() const noexcept { return !basis.empty(); }
+  };
+
   /// Solves the LP relaxation (integrality ignored).
   [[nodiscard]] Solution solve();
 
   /// Solves with overridden bounds on structural variables (used by
-  /// branch-and-bound).  Vectors must have size num_variables().
+  /// branch-and-bound).  Vectors must have size num_variables().  When
+  /// `warm` is a valid snapshot and options().warm_start is set, the solve
+  /// starts from that basis and re-optimizes with the dual simplex instead
+  /// of running phase 1; an unusable snapshot silently falls back to a cold
+  /// start.
   [[nodiscard]] Solution solve_with_bounds(const std::vector<double>& lower,
-                                           const std::vector<double>& upper);
+                                           const std::vector<double>& upper,
+                                           const WarmStartBasis* warm = nullptr);
+
+  /// Snapshots the final basis of the most recent solve.  Returns an empty
+  /// (invalid) snapshot unless that solve ended Optimal with no artificial
+  /// column left in the basis.
+  [[nodiscard]] WarmStartBasis capture_basis() const;
 
  private:
   struct SparseColumn {
@@ -46,6 +70,9 @@ class SimplexSolver {
   void reset_state(const std::vector<double>& lower,
                    const std::vector<double>& upper);
   void install_initial_basis();
+  /// Installs a snapshotted basis under the current bounds; false (with
+  /// state left for reset_state to rebuild) when the snapshot is unusable.
+  bool try_install_warm_basis(const WarmStartBasis& warm);
 
   // --- linear algebra ----------------------------------------------------
   void refactorize();                                  ///< Rebuild binv_, xb_.
@@ -56,11 +83,23 @@ class SimplexSolver {
   // --- simplex core ------------------------------------------------------
   /// Runs the simplex loop with the current cost vector; returns the phase
   /// outcome.  `phase1` enables artificial bookkeeping.
-  enum class LoopResult { Optimal, Unbounded, IterationLimit };
+  enum class LoopResult { Optimal, Unbounded, Infeasible, IterationLimit };
   LoopResult run_simplex(bool phase1);
+  /// Dual simplex: from a dual-feasible basis, pivots out primal bound
+  /// violations until primal feasible (Optimal), provably infeasible, or
+  /// out of iterations.
+  LoopResult run_dual_simplex();
 
   [[nodiscard]] double nonbasic_value(int j) const;
   [[nodiscard]] double column_objective(int j) const;
+  [[nodiscard]] long bland_threshold() const noexcept;
+  /// Shared per-iteration bookkeeping of both simplex loops: iteration
+  /// budget, Bland-rule trigger, periodic refactorization.  Returns false
+  /// when the iteration budget is exhausted.
+  bool begin_iteration(long& since_refactor);
+  /// Product-form update of binv_ after a pivot on row `lu` with the
+  /// current ftran column w_ (pivot element w_[lu]).
+  void product_form_update(std::size_t lu);
 
   // Problem dimensions.
   int m_ = 0;        ///< Rows.
@@ -85,6 +124,7 @@ class SimplexSolver {
   long iterations_ = 0;
   long iterations_this_solve_ = 0;
   bool use_bland_ = false;
+  bool basis_capturable_ = false;  ///< Last solve ended at an optimal basis.
 
   // Scratch buffers reused across iterations.
   std::vector<double> y_;  ///< Duals.

@@ -35,6 +35,13 @@ struct Solution {
   // Diagnostics.
   long simplex_iterations = 0;
   long nodes_explored = 0;
+  /// Nodes re-solved by dual simplex from a parent basis, skipping phase 1
+  /// entirely.  For a single LP solve this is 1 when a warm basis was
+  /// accepted; branch-and-bound accumulates it across the tree.
+  long warm_started_nodes = 0;
+  /// Nodes that needed a phase-1 run with artificial columns (cold starts
+  /// whose initial logical basis was primal infeasible).
+  long phase1_nodes = 0;
   double best_bound = 0.0;  ///< Proven lower bound on the optimum.
   double solve_seconds = 0.0;
 
@@ -58,6 +65,19 @@ struct SolverOptions {
                                        ///< incumbent (absolute).
   double mip_gap_rel = 1e-6;           ///< ... or within this fraction.
   int refactor_interval = 64;          ///< Basis refactorization cadence.
+  /// Branch-and-bound re-solves child nodes from the parent's optimal basis
+  /// with the dual simplex (a single tightened bound keeps the parent basis
+  /// dual feasible, so phase 1 and its artificial columns are skipped).
+  /// Disable to force cold solves at every node (equivalence testing).
+  bool warm_start = true;
+  /// Best-first node selection (priority queue on node bound) with diving;
+  /// false restores pure depth-first diving.
+  bool best_first = true;
+  /// Simplex iteration at which pricing falls back to Bland's rule for
+  /// guaranteed termination on degenerate instances (the rule is active
+  /// from this iteration onward).  0 = automatic (1000 + 20 * columns);
+  /// tests set 1 to force Bland from the very first pivot.
+  long bland_iterations = 0;
 };
 
 }  // namespace ww::milp

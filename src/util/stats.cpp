@@ -114,12 +114,25 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Casting a NaN or out-of-range scaled value to an integer is undefined
+  // behaviour, so non-finite samples land in a counted drop bucket and
+  // finite samples are range-checked *before* the cast (clamping after the
+  // cast would be too late for huge values like 1e300).
+  if (!std::isfinite(x)) {
+    ++dropped_;
+    return;
+  }
+  std::size_t idx;
+  if (x <= lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    const double span = hi_ - lo_;
+    const double scaled = (x - lo_) / span * static_cast<double>(counts_.size());
+    idx = std::min(static_cast<std::size_t>(scaled), counts_.size() - 1);
+  }
+  ++counts_[idx];
   ++total_;
 }
 

@@ -49,8 +49,10 @@ struct LinearFit {
 [[nodiscard]] LinearFit linear_fit(std::span<const double> x,
                                    std::span<const double> y);
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so mass is conserved.
+/// Fixed-width histogram over [lo, hi); finite out-of-range samples clamp
+/// to the edge bins so mass is conserved.  Non-finite samples (NaN, ±inf)
+/// are routed to a counted drop bucket — binning them would be undefined
+/// behaviour — and are excluded from total().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -58,6 +60,7 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t i) const;
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
 
@@ -66,6 +69,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;  ///< Non-finite samples rejected by add().
 };
 
 }  // namespace ww::util

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "milp/branch_and_bound.hpp"
+#include "milp/instances.hpp"
 #include "milp/simplex.hpp"
 #include "util/rng.hpp"
 
@@ -143,34 +144,7 @@ TEST(BranchAndBoundStress, TimeLimitReturnsIncumbent) {
   // A weak-relaxation model (per-job free allowance, the WaterWise
   // pathology); with a tiny time budget the solver must still return a
   // usable incumbent rather than nothing.
-  util::Rng rng(5);
-  const int M = 20;
-  const int N = 4;
-  Model m;
-  std::vector<int> x(static_cast<std::size_t>(M * N));
-  for (int j = 0; j < M; ++j)
-    for (int r = 0; r < N; ++r)
-      x[static_cast<std::size_t>(j * N + r)] =
-          m.add_binary("x", rng.uniform(0.2, 1.0));
-  for (int j = 0; j < M; ++j) {
-    std::vector<Term> t;
-    for (int r = 0; r < N; ++r)
-      t.push_back({x[static_cast<std::size_t>(j * N + r)], 1.0});
-    (void)m.add_constraint("a", std::move(t), Sense::Equal, 1.0);
-    std::vector<Term> d;
-    for (int r = 1; r < N; ++r)
-      d.push_back({x[static_cast<std::size_t>(j * N + r)],
-                   rng.uniform(50.0, 400.0)});
-    const int p = m.add_continuous("p", 0.0, kInfinity, 0.5);
-    d.push_back({p, -1.0});
-    (void)m.add_constraint("soft", std::move(d), Sense::LessEqual, 20.0);
-  }
-  for (int r = 0; r < N; ++r) {
-    std::vector<Term> t;
-    for (int j = 0; j < M; ++j)
-      t.push_back({x[static_cast<std::size_t>(j * N + r)], 1.0});
-    (void)m.add_constraint("c", std::move(t), Sense::LessEqual, 7.0);
-  }
+  const Model m = weak_relaxation_model(20, 4, 7.0);
   SolverOptions opts;
   opts.time_limit_seconds = 0.3;
   const Solution sol = solve(m, opts);

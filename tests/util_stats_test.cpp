@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace ww::util {
@@ -116,6 +117,32 @@ TEST(Histogram, BinningAndClamping) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, NonFiniteSamplesGoToDropBucket) {
+  // Regression: (NaN - lo) / span * bins cast to an integer is undefined
+  // behaviour, as is the cast of any scaled value outside the integer
+  // range (e.g. 1e300).  The sanitize CI job builds with
+  // -fsanitize=float-cast-overflow, so this test aborts there if either
+  // guard regresses.
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.dropped(), 3u);
+  std::size_t binned = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.bin_count(i);
+  EXPECT_EQ(binned, 1u);  // non-finite samples never reach a bin
+
+  // Huge but finite samples are still mass-conserving edge-bin clamps.
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.dropped(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
 }
 
 }  // namespace
