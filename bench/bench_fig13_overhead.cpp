@@ -26,6 +26,10 @@ void report(const char* label, const ww::dc::CampaignResult& res,
             << solver.soft_fallbacks << " soft fallbacks, "
             << util::Table::fixed(solver.solve_seconds, 3)
             << " s in milp::solve)\n";
+  std::cout << "  kernel: " << solver.refactorizations
+            << " LU refactorizations, " << solver.eta_updates
+            << " eta updates, " << solver.seeded_incumbents
+            << " greedy-seeded solves\n";
 
   // Time series in 10-minute buckets (paper plots minutes on the x-axis).
   util::Table series({"Sim minute", "Mean decision ms", "Overhead % of exec"});

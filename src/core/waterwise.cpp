@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/slack.hpp"
@@ -27,13 +28,21 @@ milp::Solution WaterWiseScheduler::run_model(
   const int m = static_cast<int>(chunk.size());
   const int n = static_cast<int>(caps.size());
   milp::Model model;
+  // Unnamed variables/constraints (names are synthesized on demand for
+  // debugging) and pre-sized vectors: a 400-job x 10-region chunk would
+  // otherwise allocate thousands of "x_j_r" strings per batch window.
+  // The soft model adds up to one penalty variable and one delay row per
+  // (job, region) pair on top of the assignment block.
+  if (soft)
+    model.reserve(2 * m * n, m + n + m * n);
+  else
+    model.reserve(m * n, m + n);
 
   // x_mn assignment binaries, laid out row-major (job-major).
   std::vector<int> x(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
   for (int j = 0; j < m; ++j)
     for (int r = 0; r < n; ++r)
-      x[static_cast<std::size_t>(j * n + r)] =
-          model.add_binary("x_" + std::to_string(j) + "_" + std::to_string(r));
+      x[static_cast<std::size_t>(j * n + r)] = model.add_binary();
   *out_num_assign_vars = m * n;
 
   // Objective: Eq. 8 normalized footprint costs + history reference terms.
@@ -93,8 +102,7 @@ milp::Solution WaterWiseScheduler::run_model(
     terms.reserve(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r)
       terms.push_back({x[static_cast<std::size_t>(j * n + r)], 1.0});
-    model.add_constraint("assign_" + std::to_string(j), std::move(terms),
-                         milp::Sense::Equal, 1.0);
+    (void)model.add_constraint(std::move(terms), milp::Sense::Equal, 1.0);
   }
 
   // Eq. 10: region capacity.
@@ -103,9 +111,9 @@ milp::Solution WaterWiseScheduler::run_model(
     terms.reserve(static_cast<std::size_t>(m));
     for (int j = 0; j < m; ++j)
       terms.push_back({x[static_cast<std::size_t>(j * n + r)], 1.0});
-    model.add_constraint("cap_" + std::to_string(r), std::move(terms),
-                         milp::Sense::LessEqual,
-                         static_cast<double>(caps[static_cast<std::size_t>(r)]));
+    (void)model.add_constraint(
+        std::move(terms), milp::Sense::LessEqual,
+        static_cast<double>(caps[static_cast<std::size_t>(r)]));
   }
 
   // Eq. 11 (hard) / Eq. 12-13 (soft): delay tolerance.  The remaining
@@ -118,6 +126,12 @@ milp::Solution WaterWiseScheduler::run_model(
   // near-integral (a per-job penalty would let fractional solutions absorb
   // the allowance "for free", opening a large LP/MIP gap that forces
   // branch-and-bound to enumerate job subsets).
+  // Per-(job, region) soft-penalty bookkeeping, reused by the greedy seed:
+  // the penalty variable and the exceedance its placement would incur.
+  std::vector<int> soft_pvar(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n), -1);
+  std::vector<double> soft_exceed(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 0.0);
   for (int j = 0; j < m; ++j) {
     const dc::PendingJob& p = *chunk[static_cast<std::size_t>(j)];
     const double waited = ctx.now - p.first_seen;
@@ -135,13 +149,13 @@ milp::Solution WaterWiseScheduler::run_model(
             p.job->home_region, r, p.job->package_bytes);
         const double exceedance = latency - allowance;
         if (exceedance <= 0.0) continue;  // placement cannot violate
-        const int pmn = model.add_continuous(
-            "P_" + std::to_string(j) + "_" + std::to_string(r), 0.0,
-            milp::kInfinity, penalty_rate);
-        model.add_constraint(
-            "delay_" + std::to_string(j) + "_" + std::to_string(r),
+        const int pmn =
+            model.add_continuous(0.0, milp::kInfinity, penalty_rate);
+        (void)model.add_constraint(
             {{x[static_cast<std::size_t>(j * n + r)], exceedance}, {pmn, -1.0}},
             milp::Sense::LessEqual, 0.0);
+        soft_pvar[static_cast<std::size_t>(j * n + r)] = pmn;
+        soft_exceed[static_cast<std::size_t>(j * n + r)] = exceedance;
       }
       continue;
     }
@@ -173,12 +187,79 @@ milp::Solution WaterWiseScheduler::run_model(
     options.max_nodes = std::min<long>(options.max_nodes, 200);
     options.time_limit_seconds = std::min(options.time_limit_seconds, 0.5);
   }
-  milp::Solution sol = milp::solve(model, options);
+
+  // Greedy seed incumbent: jobs most-constrained-first (longest estimated
+  // runtime, then chunk order), each placed at the cheapest admissible
+  // region with remaining capacity.  The resulting feasible point enters
+  // branch-and-bound as the initial upper bound, so best-first search
+  // prunes from node 0 instead of waiting for its first dive to bottom out.
+  //
+  // The budget-capped *hard* model is a feasibility probe (Algorithm 1,
+  // lines 10-11): an inconclusive probe must stay unusable so the chunk
+  // falls through to the penalty-optimized soft model.  A seed would make
+  // the probe always usable and commit the raw greedy assignment instead,
+  // so seeding applies only to the soft model — where the weak relaxation
+  // actually branches — and to the soft-disabled ablation.
+  std::optional<milp::Solution> seed;
+  if (soft || !config_.enable_soft_constraints) {
+    std::vector<int> order(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) order[static_cast<std::size_t>(j)] = j;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return chunk[static_cast<std::size_t>(a)]->est_exec_s >
+             chunk[static_cast<std::size_t>(b)]->est_exec_s;
+    });
+    std::vector<int> caps_left(caps);
+    std::vector<double> vals(static_cast<std::size_t>(model.num_variables()),
+                             0.0);
+    bool ok = true;
+    for (const int j : order) {
+      int chosen = -1;
+      double chosen_cost = 0.0;
+      for (int r = 0; r < n; ++r) {
+        if (caps_left[static_cast<std::size_t>(r)] <= 0) continue;
+        const auto xi = static_cast<std::size_t>(x[static_cast<std::size_t>(
+            j * n + r)]);
+        const milp::Variable& v = model.variable(static_cast<int>(xi));
+        if (v.upper < 0.5) continue;  // hard-model delay forbids this region
+        double c = v.objective;
+        if (soft && soft_pvar[static_cast<std::size_t>(j * n + r)] >= 0)
+          c += model
+                   .variable(soft_pvar[static_cast<std::size_t>(j * n + r)])
+                   .objective *
+               soft_exceed[static_cast<std::size_t>(j * n + r)];
+        if (chosen < 0 || c < chosen_cost) {
+          chosen = r;
+          chosen_cost = c;
+        }
+      }
+      if (chosen < 0) {
+        ok = false;  // no admissible region left; let the solver decide
+        break;
+      }
+      --caps_left[static_cast<std::size_t>(chosen)];
+      const auto xi =
+          static_cast<std::size_t>(x[static_cast<std::size_t>(j * n + chosen)]);
+      vals[xi] = 1.0;
+      if (soft && soft_pvar[static_cast<std::size_t>(j * n + chosen)] >= 0)
+        vals[static_cast<std::size_t>(
+            soft_pvar[static_cast<std::size_t>(j * n + chosen)])] =
+            soft_exceed[static_cast<std::size_t>(j * n + chosen)];
+    }
+    if (ok) {
+      seed = milp::Solution::incumbent_from_heuristic(model, std::move(vals));
+      ++stats_.seeded_incumbents;
+    }
+  }
+
+  milp::Solution sol =
+      milp::solve(model, options, seed ? &*seed : nullptr);
   ++stats_.milp_solves;
   stats_.nodes_explored += sol.nodes_explored;
   stats_.simplex_iterations += sol.simplex_iterations;
   stats_.warm_started_nodes += sol.warm_started_nodes;
   stats_.phase1_nodes += sol.phase1_nodes;
+  stats_.refactorizations += sol.refactorizations;
+  stats_.eta_updates += sol.eta_updates;
   stats_.solve_seconds += sol.solve_seconds;
   return sol;
 }

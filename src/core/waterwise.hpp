@@ -68,6 +68,11 @@ struct SchedulerStats {
   long simplex_iterations = 0;
   long warm_started_nodes = 0;   ///< Nodes re-solved from a parent basis.
   long phase1_nodes = 0;         ///< Nodes that needed phase-1 artificials.
+  long refactorizations = 0;     ///< Sparse-kernel LU factorizations.
+  long eta_updates = 0;          ///< Product-form basis updates absorbed.
+  /// Solves handed a greedy seed candidate (the solver re-validates the
+  /// seed against bounds/rows/integrality before adopting it).
+  long seeded_incumbents = 0;
   double solve_seconds = 0.0;    ///< Wall-clock inside milp::solve.
 
   /// Non-root branch-and-bound nodes across all solves (the population the

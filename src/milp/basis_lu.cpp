@@ -1,0 +1,231 @@
+#include "milp/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ww::milp {
+
+namespace {
+/// Pivots smaller than this are numerically unusable.
+constexpr double kSingularTol = 1e-11;
+/// Threshold pivoting: any candidate within this factor of the largest
+/// magnitude may be chosen for sparsity instead.
+constexpr double kPivotThreshold = 0.1;
+}  // namespace
+
+bool BasisLU::factorize(int m, const std::vector<SparseVec>& cols,
+                        const std::vector<int>& basis) {
+  m_ = m;
+  etas_.clear();
+  const auto mu = static_cast<std::size_t>(m);
+  l_rows_.assign(mu, {});
+  l_vals_.assign(mu, {});
+  u_steps_.assign(mu, {});
+  u_vals_.assign(mu, {});
+  diag_.assign(mu, 0.0);
+  p_.assign(mu, -1);
+  pinv_.assign(mu, -1);
+  q_.resize(mu);
+  work_.assign(mu, 0.0);
+  factor_nnz_ = 0;
+
+  // Markowitz-biased static column order: ascending nonzero count, so the
+  // (many) logical singleton columns pivot first with zero fill, and the
+  // short structural columns follow.  Stable sort keeps the order — and
+  // therefore the whole factorization — deterministic.
+  std::iota(q_.begin(), q_.end(), 0);
+  std::stable_sort(q_.begin(), q_.end(), [&](int a, int b) {
+    return cols[static_cast<std::size_t>(basis[static_cast<std::size_t>(a)])]
+               .rows.size() <
+           cols[static_cast<std::size_t>(basis[static_cast<std::size_t>(b)])]
+               .rows.size();
+  });
+
+  // Row occupancy of the basis matrix, used as the Markowitz-style row
+  // preference among numerically acceptable pivot candidates.
+  std::vector<int> row_count(mu, 0);
+  for (int i = 0; i < m; ++i)
+    for (const int r :
+         cols[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])]
+             .rows)
+      ++row_count[static_cast<std::size_t>(r)];
+
+  std::vector<double>& x = work_;  // dense accumulator, row-indexed
+  std::vector<int> touched;
+  touched.reserve(mu);
+
+  for (int k = 0; k < m; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    const SparseVec& col = cols[static_cast<std::size_t>(
+        basis[static_cast<std::size_t>(q_[ku])])];
+
+    // Scatter the column, then eliminate with the L columns built so far.
+    touched.clear();
+    for (std::size_t t = 0; t < col.rows.size(); ++t) {
+      const auto r = static_cast<std::size_t>(col.rows[t]);
+      if (x[r] == 0.0) touched.push_back(col.rows[t]);
+      x[r] += col.values[t];
+    }
+    for (int k2 = 0; k2 < k; ++k2) {
+      const auto k2u = static_cast<std::size_t>(k2);
+      const double mult = x[static_cast<std::size_t>(p_[k2u])];
+      if (mult == 0.0) continue;
+      const auto& lr = l_rows_[k2u];
+      const auto& lv = l_vals_[k2u];
+      for (std::size_t t = 0; t < lr.size(); ++t) {
+        const auto r = static_cast<std::size_t>(lr[t]);
+        if (x[r] == 0.0) touched.push_back(lr[t]);
+        x[r] -= lv[t] * mult;
+      }
+    }
+
+    // Pivot: largest magnitude among not-yet-pivotal rows wins unless a
+    // sparser row (fewest basis nonzeros) is within kPivotThreshold of it.
+    double amax = 0.0;
+    for (const int r : touched) {
+      if (pinv_[static_cast<std::size_t>(r)] >= 0) continue;
+      amax = std::max(amax, std::abs(x[static_cast<std::size_t>(r)]));
+    }
+    if (amax < kSingularTol) {
+      for (const int r : touched) x[static_cast<std::size_t>(r)] = 0.0;
+      return false;  // numerically singular basis
+    }
+    int piv_row = -1;
+    int piv_count = 0;
+    for (const int r : touched) {
+      const auto ru = static_cast<std::size_t>(r);
+      if (pinv_[ru] >= 0) continue;
+      if (std::abs(x[ru]) < kPivotThreshold * amax) continue;
+      if (piv_row < 0 || row_count[ru] < piv_count ||
+          (row_count[ru] == piv_count && r < piv_row)) {
+        piv_row = r;
+        piv_count = row_count[ru];
+      }
+    }
+    const auto pu = static_cast<std::size_t>(piv_row);
+    p_[ku] = piv_row;
+    pinv_[pu] = k;
+    const double pivot = x[pu];
+    diag_[ku] = pivot;
+
+    // Gather U (already-pivotal rows) and L (remaining rows, scaled).
+    for (const int r : touched) {
+      const auto ru = static_cast<std::size_t>(r);
+      const double v = x[ru];
+      x[ru] = 0.0;
+      if (v == 0.0 || r == piv_row) continue;
+      if (pinv_[ru] >= 0) {
+        u_steps_[ku].push_back(pinv_[ru]);
+        u_vals_[ku].push_back(v);
+      } else {
+        l_rows_[ku].push_back(r);
+        l_vals_[ku].push_back(v / pivot);
+      }
+    }
+    factor_nnz_ += 1 + static_cast<long>(u_steps_[ku].size()) +
+                   static_cast<long>(l_rows_[ku].size());
+  }
+  std::fill(work_.begin(), work_.end(), 0.0);
+  return true;
+}
+
+void BasisLU::ftran(std::vector<double>& x) const {
+  const auto mu = static_cast<std::size_t>(m_);
+  // Lower solve in elimination order; x stays row-indexed, with the value
+  // at pivot row p_[k] holding intermediate z_k.
+  for (std::size_t k = 0; k < mu; ++k) {
+    const double z = x[static_cast<std::size_t>(p_[k])];
+    if (z == 0.0) continue;
+    const auto& lr = l_rows_[k];
+    const auto& lv = l_vals_[k];
+    for (std::size_t t = 0; t < lr.size(); ++t)
+      x[static_cast<std::size_t>(lr[t])] -= lv[t] * z;
+  }
+  // Upper back-substitution into step space, then scatter to positions.
+  std::vector<double>& y = work_;
+  for (std::size_t k = mu; k-- > 0;) {
+    const double z = x[static_cast<std::size_t>(p_[k])];
+    if (z == 0.0) {
+      y[k] = 0.0;
+      continue;
+    }
+    const double yk = z / diag_[k];
+    y[k] = yk;
+    const auto& us = u_steps_[k];
+    const auto& uv = u_vals_[k];
+    for (std::size_t t = 0; t < us.size(); ++t)
+      x[static_cast<std::size_t>(p_[static_cast<std::size_t>(us[t])])] -=
+          uv[t] * yk;
+  }
+  for (std::size_t k = 0; k < mu; ++k)
+    x[static_cast<std::size_t>(q_[k])] = y[k];
+
+  // Product-form etas, oldest first.
+  for (const Eta& e : etas_) {
+    const auto pos = static_cast<std::size_t>(e.pos);
+    const double xp = x[pos];
+    if (xp == 0.0) continue;
+    const double scaled = xp / e.pivot;
+    x[pos] = scaled;
+    for (std::size_t t = 0; t < e.idx.size(); ++t)
+      x[static_cast<std::size_t>(e.idx[t])] -= e.val[t] * scaled;
+  }
+}
+
+void BasisLU::btran(std::vector<double>& x) const {
+  const auto mu = static_cast<std::size_t>(m_);
+  // Transposed etas, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const Eta& e = *it;
+    double acc = x[static_cast<std::size_t>(e.pos)];
+    for (std::size_t t = 0; t < e.idx.size(); ++t)
+      acc -= e.val[t] * x[static_cast<std::size_t>(e.idx[t])];
+    x[static_cast<std::size_t>(e.pos)] = acc / e.pivot;
+  }
+
+  // U^T forward solve: row k of U^T is column k of U.
+  std::vector<double>& t_ = work_;
+  for (std::size_t k = 0; k < mu; ++k)
+    t_[k] = x[static_cast<std::size_t>(q_[k])];
+  for (std::size_t k = 0; k < mu; ++k) {
+    double acc = t_[k];
+    const auto& us = u_steps_[k];
+    const auto& uv = u_vals_[k];
+    for (std::size_t t = 0; t < us.size(); ++t)
+      acc -= uv[t] * t_[static_cast<std::size_t>(us[t])];
+    t_[k] = acc / diag_[k];
+  }
+  // L^T backward solve: L column k lives in rows pivotal at later steps.
+  for (std::size_t k = mu; k-- > 0;) {
+    double acc = t_[k];
+    const auto& lr = l_rows_[k];
+    const auto& lv = l_vals_[k];
+    for (std::size_t t = 0; t < lr.size(); ++t) {
+      const auto step = static_cast<std::size_t>(
+          pinv_[static_cast<std::size_t>(lr[t])]);
+      acc -= lv[t] * t_[step];
+    }
+    t_[k] = acc;
+  }
+  for (std::size_t k = 0; k < mu; ++k)
+    x[static_cast<std::size_t>(p_[k])] = t_[k];
+}
+
+bool BasisLU::update(const std::vector<double>& w, int pos) {
+  const auto pu = static_cast<std::size_t>(pos);
+  const double pivot = w[pu];
+  if (std::abs(pivot) < kSingularTol) return false;
+  Eta e;
+  e.pos = pos;
+  e.pivot = pivot;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i == pu || w[i] == 0.0) continue;
+    e.idx.push_back(static_cast<int>(i));
+    e.val.push_back(w[i]);
+  }
+  etas_.push_back(std::move(e));
+  return true;
+}
+
+}  // namespace ww::milp

@@ -1,0 +1,91 @@
+// Sparse LU factorization of a simplex basis with eta-file updates.
+//
+// The basis matrix B maps basis positions to rows: column i of B is the
+// constraint-matrix column of the variable basic in position i.  BasisLU
+// factorizes P B Q = L U by left-looking (Gilbert-Peierls-style)
+// elimination — the per-column lower solve sweeps prior pivots with a
+// skip-on-zero multiplier test rather than a symbolic DFS, an O(m) scan
+// per column that is negligible next to the numeric work at the basis
+// sizes the scheduler builds — with a Markowitz-biased static column order
+// (ascending nonzero count, so logical/slack singletons peel off
+// fill-free) and threshold row pivoting that prefers sparse rows among
+// numerically acceptable candidates.  Between
+// refactorizations, basis changes are absorbed as product-form eta columns:
+// replacing the column in position r by a new column a with w = B^-1 a
+// appends the elementary matrix E(r, w), so B_new^-1 = E^-1 B^-1 and both
+// triangular factors stay untouched.
+//
+// ftran solves B x = a (entering-column transformation); btran solves
+// B^T y = c (dual/pivot-row transformation).  Both exploit sparsity by
+// skipping zero positions, so a solve costs O(nnz touched) instead of the
+// dense kernel's O(m^2) matrix-vector products.
+#pragma once
+
+#include <vector>
+
+namespace ww::milp {
+
+/// One sparse column/vector in parallel (row index, value) form.  Shared
+/// with SimplexSolver's constraint-column storage.
+struct SparseVec {
+  std::vector<int> rows;
+  std::vector<double> values;
+};
+
+class BasisLU {
+ public:
+  /// Factorizes the basis given by `basis` (column index per position) over
+  /// the column pool `cols`.  Discards any eta file.  Returns false when the
+  /// basis is numerically singular (no acceptable pivot in some column), in
+  /// which case the factorization must not be used.
+  bool factorize(int m, const std::vector<SparseVec>& cols,
+                 const std::vector<int>& basis);
+
+  /// Solves B x = a in place: `x` enters as the dense right-hand side
+  /// indexed by row and leaves as the solution indexed by basis position.
+  void ftran(std::vector<double>& x) const;
+
+  /// Solves B^T y = c in place: `x` enters as the dense right-hand side
+  /// indexed by basis position and leaves as the solution indexed by row.
+  void btran(std::vector<double>& x) const;
+
+  /// Absorbs the replacement of the column in position `pos` by a column
+  /// whose ftran image is `w` (position-indexed, w = B^-1 a_entering).
+  /// Returns false when the pivot |w[pos]| is below the stability threshold;
+  /// the caller must refactorize instead.
+  bool update(const std::vector<double>& w, int pos);
+
+  [[nodiscard]] int dimension() const noexcept { return m_; }
+  [[nodiscard]] int eta_count() const noexcept {
+    return static_cast<int>(etas_.size());
+  }
+  /// Nonzeros in L + U (diagnostic; excludes etas).
+  [[nodiscard]] long factor_nonzeros() const noexcept { return factor_nnz_; }
+
+ private:
+  struct Eta {
+    int pos;                  ///< Replaced basis position.
+    double pivot;             ///< w[pos].
+    std::vector<int> idx;     ///< Off-pivot positions with nonzero w.
+    std::vector<double> val;  ///< Matching w values.
+  };
+
+  int m_ = 0;
+  // Factors of P B Q = L U, stored column-wise per elimination step k:
+  // L columns hold (original row, multiplier) below the pivot; U columns
+  // hold (earlier step, value) above the diagonal, diagonal kept apart.
+  std::vector<std::vector<int>> l_rows_;
+  std::vector<std::vector<double>> l_vals_;
+  std::vector<std::vector<int>> u_steps_;
+  std::vector<std::vector<double>> u_vals_;
+  std::vector<double> diag_;
+  std::vector<int> p_;      ///< p_[k]: original row pivotal at step k.
+  std::vector<int> pinv_;   ///< pinv_[row]: step at which `row` was pivotal.
+  std::vector<int> q_;      ///< q_[k]: basis position eliminated at step k.
+  std::vector<Eta> etas_;   ///< Product-form updates since factorize().
+  long factor_nnz_ = 0;
+
+  mutable std::vector<double> work_;  ///< Step-indexed scratch for solves.
+};
+
+}  // namespace ww::milp

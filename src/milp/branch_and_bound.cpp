@@ -62,10 +62,21 @@ std::string to_string_impl(Status s) {
 
 std::string to_string(Status s) { return to_string_impl(s); }
 
+Solution Solution::incumbent_from_heuristic(const Model& model,
+                                            std::vector<double> values) {
+  Solution sol;
+  sol.values = std::move(values);
+  sol.objective = model.objective_value(sol.values);
+  sol.has_incumbent = true;
+  sol.status = Status::NodeLimit;  // feasible, not proven optimal
+  sol.best_bound = kNegInf;
+  return sol;
+}
+
 BranchAndBound::BranchAndBound(const Model& model, SolverOptions options)
     : model_(model), options_(options) {}
 
-Solution BranchAndBound::solve() {
+Solution BranchAndBound::solve(const Solution* seed) {
   const util::Stopwatch watch;
   SimplexSolver lp(model_, options_);
 
@@ -78,10 +89,40 @@ Solution BranchAndBound::solve() {
   Solution best;
   best.status = Status::Infeasible;
   double incumbent = std::numeric_limits<double>::infinity();
+  // Heuristic seed: adopt it as the initial incumbent when it is actually
+  // feasible.  While the incumbent is still the seed, pruning uses only the
+  // absolute gap — the relative gap could discard a tree solution within
+  // mip_gap_rel of the (possibly weak) heuristic, changing the answer the
+  // un-seeded tree would have returned.
+  bool incumbent_is_seed = false;
+  if (seed != nullptr && seed->has_incumbent &&
+      static_cast<int>(seed->values.size()) == n &&
+      model_.max_violation(seed->values) <= options_.feasibility_tolerance) {
+    // MILP feasibility also demands integrality, which max_violation does
+    // not check — a fractional (e.g. LP-relaxation) "seed" must be ignored
+    // or it would prune the subtree holding the true integral optimum.
+    bool integral = true;
+    for (int j = 0; j < n && integral; ++j) {
+      if (!is_int[static_cast<std::size_t>(j)]) continue;
+      const double v = seed->values[static_cast<std::size_t>(j)];
+      integral = std::abs(v - std::round(v)) <= options_.integrality_tolerance;
+    }
+    if (integral) {
+      best = *seed;
+      // Defensive recompute: the pruning bound must reflect these exact
+      // values even when a caller hand-built the seed with a stale
+      // objective field instead of using incumbent_from_heuristic.
+      best.objective = model_.objective_value(best.values);
+      incumbent = best.objective;
+      incumbent_is_seed = true;
+    }
+  }
   long nodes = 0;
   long total_iterations = 0;
   long warm_nodes = 0;
   long phase1_nodes = 0;
+  long total_refactor = 0;
+  long total_eta = 0;
   long next_seq = 0;
   bool limits_hit = false;        ///< Node/time budget exhausted.
   bool subtree_dropped = false;   ///< A node LP hit its iteration limit.
@@ -154,8 +195,10 @@ Solution BranchAndBound::solve() {
       break;
     }
     const double prune_margin =
-        std::max(options_.mip_gap_abs,
-                 options_.mip_gap_rel * std::abs(incumbent));
+        incumbent_is_seed
+            ? options_.mip_gap_abs
+            : std::max(options_.mip_gap_abs,
+                       options_.mip_gap_rel * std::abs(incumbent));
     if (node.bound >= incumbent - prune_margin) {
       // Pruned.  When this node came off the best-first heap, its bound is
       // the minimum of the open set and the incumbent only improves, so
@@ -174,6 +217,8 @@ Solution BranchAndBound::solve() {
     total_iterations += relax.simplex_iterations;
     warm_nodes += relax.warm_started_nodes;
     phase1_nodes += relax.phase1_nodes;
+    total_refactor += relax.refactorizations;
+    total_eta += relax.eta_updates;
     if (relax.status == Status::Infeasible) continue;
     if (relax.status == Status::Unbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded or
@@ -185,6 +230,8 @@ Solution BranchAndBound::solve() {
       sol.simplex_iterations = total_iterations;
       sol.warm_started_nodes = warm_nodes;
       sol.phase1_nodes = phase1_nodes;
+      sol.refactorizations = total_refactor;
+      sol.eta_updates = total_eta;
       sol.solve_seconds = watch.elapsed_seconds();
       return sol;
     }
@@ -252,10 +299,16 @@ Solution BranchAndBound::solve() {
           cand.values[static_cast<std::size_t>(j)] =
               std::round(cand.values[static_cast<std::size_t>(j)]);
       cand.objective = model_.objective_value(cand.values);
-      if (cand.objective < incumbent) {
+      // Tree incumbents also take over from a seed on exact objective
+      // ties.  (Best effort: a tying node can still be gap-pruned before
+      // its integral solution is formed, in which case the seed's
+      // assignment is returned at the same objective.)
+      if (cand.objective < incumbent ||
+          (incumbent_is_seed && cand.objective <= incumbent)) {
         incumbent = cand.objective;
         best = std::move(cand);
         best.has_incumbent = true;
+        incumbent_is_seed = false;
       }
       continue;
     }
@@ -310,6 +363,8 @@ Solution BranchAndBound::solve() {
   best.simplex_iterations = total_iterations;
   best.warm_started_nodes = warm_nodes;
   best.phase1_nodes = phase1_nodes;
+  best.refactorizations = total_refactor;
+  best.eta_updates = total_eta;
   best.solve_seconds = watch.elapsed_seconds();
   if (limits_hit || subtree_dropped) {
     // NodeLimit when the tree budget stopped us; IterationLimit when the
@@ -327,13 +382,14 @@ Solution BranchAndBound::solve() {
   return best;
 }
 
-Solution solve(const Model& model, SolverOptions options) {
+Solution solve(const Model& model, SolverOptions options,
+               const Solution* seed) {
   if (!model.has_integer_variables()) {
     SimplexSolver lp(model, options);
     return lp.solve();
   }
   BranchAndBound bb(model, options);
-  return bb.solve();
+  return bb.solve(seed);
 }
 
 }  // namespace ww::milp

@@ -26,7 +26,13 @@ class BranchAndBound {
  public:
   BranchAndBound(const Model& model, SolverOptions options = {});
 
-  [[nodiscard]] Solution solve();
+  /// Solves the MILP.  `seed` may carry a heuristic feasible incumbent
+  /// (see Solution::incumbent_from_heuristic): its objective becomes the
+  /// initial upper bound so best-first search prunes from node 0.  The
+  /// seed only prunes within the *absolute* gap — a tree-found incumbent
+  /// strictly better than the seed always replaces it — so seeding never
+  /// degrades the answer.  Infeasible or malformed seeds are ignored.
+  [[nodiscard]] Solution solve(const Solution* seed = nullptr);
 
  private:
   const Model& model_;
@@ -34,7 +40,8 @@ class BranchAndBound {
 };
 
 /// Facade: dispatches to pure LP when the model has no integer variables,
-/// branch-and-bound otherwise.
-[[nodiscard]] Solution solve(const Model& model, SolverOptions options = {});
+/// branch-and-bound otherwise (forwarding an optional seed incumbent).
+[[nodiscard]] Solution solve(const Model& model, SolverOptions options = {},
+                             const Solution* seed = nullptr);
 
 }  // namespace ww::milp

@@ -14,11 +14,18 @@ int Model::add_variable(std::string name, double lower, double upper,
     upper = 1.0;
   }
   if (lower > upper)
-    throw std::invalid_argument("Model: variable '" + name +
-                                "' has lower > upper");
+    throw std::invalid_argument(
+        "Model: variable '" +
+        (name.empty() ? "x" + std::to_string(variables_.size()) : name) +
+        "' has lower > upper");
   variables_.push_back(
       Variable{std::move(name), lower, upper, type, objective});
   return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::reserve(int variables, int constraints) {
+  variables_.reserve(static_cast<std::size_t>(std::max(variables, 0)));
+  constraints_.reserve(static_cast<std::size_t>(std::max(constraints, 0)));
 }
 
 int Model::add_continuous(std::string name, double lower, double upper,
@@ -53,8 +60,10 @@ int Model::add_constraint(std::string name, std::vector<Term> terms,
   std::unordered_map<int, double> merged;
   for (const Term& t : terms) {
     if (t.var < 0 || t.var >= num_variables())
-      throw std::out_of_range("Model: constraint '" + name +
-                              "' references unknown variable");
+      throw std::out_of_range(
+          "Model: constraint '" +
+          (name.empty() ? "c" + std::to_string(constraints_.size()) : name) +
+          "' references unknown variable");
     merged[t.var] += t.coeff;
   }
   std::vector<Term> clean;
@@ -65,6 +74,16 @@ int Model::add_constraint(std::string name, std::vector<Term> terms,
             [](const Term& a, const Term& b) { return a.var < b.var; });
   constraints_.push_back(Constraint{std::move(name), std::move(clean), sense, rhs});
   return static_cast<int>(constraints_.size()) - 1;
+}
+
+std::string Model::variable_name(int i) const {
+  const auto& stored = variables_.at(static_cast<std::size_t>(i)).name;
+  return stored.empty() ? "x" + std::to_string(i) : stored;
+}
+
+std::string Model::constraint_name(int i) const {
+  const auto& stored = constraints_.at(static_cast<std::size_t>(i)).name;
+  return stored.empty() ? "c" + std::to_string(i) : stored;
 }
 
 bool Model::has_integer_variables() const noexcept {

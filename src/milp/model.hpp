@@ -41,11 +41,29 @@ struct Constraint {
 class Model {
  public:
   /// Returns the new variable's index.  Binary forces bounds to [0, 1].
+  /// Names are optional debug metadata: the unnamed overloads store an
+  /// empty string (no heap traffic on the model-build hot path) and
+  /// variable_name()/constraint_name() synthesize an "x<i>"/"c<i>" label
+  /// on demand for printing and error messages.
   int add_variable(std::string name, double lower, double upper,
                    VarType type = VarType::Continuous, double objective = 0.0);
+  int add_variable(double lower, double upper,
+                   VarType type = VarType::Continuous, double objective = 0.0) {
+    return add_variable(std::string(), lower, upper, type, objective);
+  }
   int add_continuous(std::string name, double lower, double upper,
                      double objective = 0.0);
+  int add_continuous(double lower, double upper, double objective = 0.0) {
+    return add_continuous(std::string(), lower, upper, objective);
+  }
   int add_binary(std::string name, double objective = 0.0);
+  int add_binary(double objective = 0.0) {
+    return add_binary(std::string(), objective);
+  }
+
+  /// Pre-sizes the variable/constraint vectors so chunked model builds
+  /// (thousands of columns per scheduling window) do not reallocate.
+  void reserve(int variables, int constraints);
 
   void set_objective_coefficient(int var, double coeff);
   /// Adds `delta` to the variable's current objective coefficient.
@@ -57,6 +75,9 @@ class Model {
   /// are merged.
   int add_constraint(std::string name, std::vector<Term> terms, Sense sense,
                      double rhs);
+  int add_constraint(std::vector<Term> terms, Sense sense, double rhs) {
+    return add_constraint(std::string(), std::move(terms), sense, rhs);
+  }
 
   [[nodiscard]] int num_variables() const noexcept {
     return static_cast<int>(variables_.size());
@@ -76,6 +97,11 @@ class Model {
   [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
     return constraints_;
   }
+
+  /// Stored name, or a synthesized "x<i>" / "c<i>" label when the entity
+  /// was added through an unnamed overload.
+  [[nodiscard]] std::string variable_name(int i) const;
+  [[nodiscard]] std::string constraint_name(int i) const;
 
   [[nodiscard]] bool has_integer_variables() const noexcept;
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "util/timer.hpp"
 
@@ -11,7 +12,10 @@ namespace ww::milp {
 
 namespace {
 constexpr double kInf = kInfinity;
-}
+/// Pivot elements below this trigger a defensive refactorization instead of
+/// an eta update (matching BasisLU's own singularity threshold).
+constexpr double kTinyPivot = 1e-11;
+}  // namespace
 
 SimplexSolver::SimplexSolver(const Model& model, SolverOptions options)
     : options_(options) {
@@ -109,7 +113,15 @@ void SimplexSolver::reset_state(const std::vector<double>& lower,
     }
   }
   basis_.assign(static_cast<std::size_t>(m_), -1);
+  d_.assign(static_cast<std::size_t>(n), 0.0);
+  devex_w_.assign(static_cast<std::size_t>(n), 1.0);
+  candidates_.clear();
+  alpha_.assign(static_cast<std::size_t>(n), 0.0);
+  alpha_cols_.clear();
   iterations_this_solve_ = 0;
+  since_refactor_ = 0;
+  refactorizations_this_solve_ = 0;
+  eta_updates_this_solve_ = 0;
   use_bland_ = false;
 }
 
@@ -159,92 +171,77 @@ void SimplexSolver::install_initial_basis() {
 }
 
 void SimplexSolver::refactorize() {
-  // Dense Gauss-Jordan inversion of the basis matrix with partial pivoting.
-  const auto mu = static_cast<std::size_t>(m_);
-  std::vector<double> mat(mu * mu, 0.0);
-  for (int col = 0; col < m_; ++col) {
-    const auto& c = cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(col)])];
-    for (std::size_t k = 0; k < c.rows.size(); ++k)
-      mat[static_cast<std::size_t>(c.rows[k]) * mu + static_cast<std::size_t>(col)] =
-          c.values[k];
-  }
-  binv_.assign(mu * mu, 0.0);
-  for (std::size_t i = 0; i < mu; ++i) binv_[i * mu + i] = 1.0;
-
-  for (std::size_t col = 0; col < mu; ++col) {
-    // Partial pivot.
-    std::size_t piv = col;
-    double best = std::abs(mat[col * mu + col]);
-    for (std::size_t r = col + 1; r < mu; ++r) {
-      const double a = std::abs(mat[r * mu + col]);
-      if (a > best) {
-        best = a;
-        piv = r;
-      }
-    }
-    if (best < 1e-12)
-      throw std::runtime_error("SimplexSolver: singular basis during refactorization");
-    if (piv != col) {
-      for (std::size_t k = 0; k < mu; ++k) {
-        std::swap(mat[piv * mu + k], mat[col * mu + k]);
-        std::swap(binv_[piv * mu + k], binv_[col * mu + k]);
-      }
-    }
-    const double inv = 1.0 / mat[col * mu + col];
-    for (std::size_t k = 0; k < mu; ++k) {
-      mat[col * mu + k] *= inv;
-      binv_[col * mu + k] *= inv;
-    }
-    for (std::size_t r = 0; r < mu; ++r) {
-      if (r == col) continue;
-      const double f = mat[r * mu + col];
-      if (f == 0.0) continue;
-      for (std::size_t k = 0; k < mu; ++k) {
-        mat[r * mu + k] -= f * mat[col * mu + k];
-        binv_[r * mu + k] -= f * binv_[col * mu + k];
-      }
-    }
-  }
+  if (!lu_.factorize(m_, cols_, basis_))
+    throw std::runtime_error(
+        "SimplexSolver: singular basis during refactorization");
+  ++refactorizations_this_solve_;
+  since_refactor_ = 0;
   recompute_basic_values();
+  recompute_reduced_costs();
+  // Devex reference framework reset: the current nonbasic set becomes the
+  // reference, all weights return to 1.
+  devex_w_.assign(cols_.size(), 1.0);
+  candidates_.clear();
 }
 
 void SimplexSolver::recompute_basic_values() {
-  std::vector<double> rhs(rhs_);
+  xb_.assign(rhs_.begin(), rhs_.end());
   for (std::size_t j = 0; j < cols_.size(); ++j) {
     if (state_[j] == NonbasicState::Basic) continue;
     const double v = nonbasic_value(static_cast<int>(j));
     if (v == 0.0) continue;
     const auto& col = cols_[j];
     for (std::size_t k = 0; k < col.rows.size(); ++k)
-      rhs[static_cast<std::size_t>(col.rows[k])] -= col.values[k] * v;
+      xb_[static_cast<std::size_t>(col.rows[k])] -= col.values[k] * v;
   }
+  lu_.ftran(xb_);  // row-indexed residual rhs -> position-indexed values
+}
+
+void SimplexSolver::recompute_reduced_costs() {
   const auto mu = static_cast<std::size_t>(m_);
-  xb_.assign(mu, 0.0);
-  for (std::size_t i = 0; i < mu; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = 0; k < mu; ++k) acc += binv_[i * mu + k] * rhs[k];
-    xb_[i] = acc;
+  y_.assign(mu, 0.0);
+  for (std::size_t i = 0; i < mu; ++i)
+    y_[i] = phase_cost_[static_cast<std::size_t>(basis_[i])];
+  lu_.btran(y_);
+  d_.assign(cols_.size(), 0.0);
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (state_[j] == NonbasicState::Basic) continue;
+    double d = phase_cost_[j];
+    const auto& col = cols_[j];
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      d -= y_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+    d_[j] = d;
   }
 }
 
-void SimplexSolver::ftran(const SparseColumn& col, std::vector<double>& out) const {
-  const auto mu = static_cast<std::size_t>(m_);
-  out.assign(mu, 0.0);
-  for (std::size_t k = 0; k < col.rows.size(); ++k) {
-    const auto r = static_cast<std::size_t>(col.rows[k]);
-    const double v = col.values[k];
-    for (std::size_t i = 0; i < mu; ++i) out[i] += binv_[i * mu + r] * v;
-  }
+void SimplexSolver::ftran_column(const SparseColumn& col,
+                                 std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(m_), 0.0);
+  for (std::size_t k = 0; k < col.rows.size(); ++k)
+    out[static_cast<std::size_t>(col.rows[k])] += col.values[k];
+  lu_.ftran(out);
 }
 
-void SimplexSolver::btran(const std::vector<double>& cb,
-                          std::vector<double>& out) const {
+void SimplexSolver::compute_pivot_row(int pos) {
   const auto mu = static_cast<std::size_t>(m_);
-  out.assign(mu, 0.0);
-  for (std::size_t i = 0; i < mu; ++i) {
-    const double c = cb[i];
-    if (c == 0.0) continue;
-    for (std::size_t k = 0; k < mu; ++k) out[k] += c * binv_[i * mu + k];
+  rho_.assign(mu, 0.0);
+  rho_[static_cast<std::size_t>(pos)] = 1.0;
+  lu_.btran(rho_);
+
+  if (alpha_.size() != cols_.size()) alpha_.assign(cols_.size(), 0.0);
+  for (const int j : alpha_cols_) alpha_[static_cast<std::size_t>(j)] = 0.0;
+  alpha_cols_.clear();
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (state_[j] == NonbasicState::Basic) continue;
+    if (lb_[j] == ub_[j]) continue;  // fixed column can never move
+    const auto& col = cols_[j];
+    double a = 0.0;
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      a += rho_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+    if (a != 0.0) {
+      alpha_[j] = a;
+      alpha_cols_.push_back(static_cast<int>(j));
+    }
   }
 }
 
@@ -254,85 +251,181 @@ long SimplexSolver::bland_threshold() const noexcept {
              : 1000 + 20L * static_cast<long>(cols_.size());
 }
 
-bool SimplexSolver::begin_iteration(long& since_refactor) {
+bool SimplexSolver::begin_iteration() {
   if (iterations_this_solve_ >= options_.max_iterations) return false;
   ++iterations_;
   ++iterations_this_solve_;
   if (iterations_this_solve_ >= bland_threshold()) use_bland_ = true;
-  if (++since_refactor >= options_.refactor_interval) {
-    refactorize();
-    since_refactor = 0;
-  }
+  if (++since_refactor_ >= options_.refactor_interval) refactorize();
   return true;
 }
 
-void SimplexSolver::product_form_update(std::size_t lu) {
-  const auto mu = static_cast<std::size_t>(m_);
-  const double inv_piv = 1.0 / w_[lu];
-  for (std::size_t k = 0; k < mu; ++k) binv_[lu * mu + k] *= inv_piv;
-  for (std::size_t i = 0; i < mu; ++i) {
-    if (i == lu) continue;
-    const double f = w_[i];
-    if (f == 0.0) continue;
-    for (std::size_t k = 0; k < mu; ++k)
-      binv_[i * mu + k] -= f * binv_[lu * mu + k];
+bool SimplexSolver::eligible(std::size_t j, int& dir) const {
+  const NonbasicState st = state_[j];
+  if (st == NonbasicState::Basic) return false;
+  if (lb_[j] == ub_[j]) return false;  // fixed column can never improve
+  const double tol = options_.pivot_tolerance;
+  const double dj = d_[j];
+  if ((st == NonbasicState::AtLower || st == NonbasicState::AtZero) &&
+      dj < -tol) {
+    dir = +1;
+    return true;
   }
+  if ((st == NonbasicState::AtUpper || st == NonbasicState::AtZero) &&
+      dj > tol) {
+    dir = -1;
+    return true;
+  }
+  return false;
+}
+
+double SimplexSolver::pricing_score(std::size_t j) const {
+  const double dj = d_[j];
+  if (options_.pricing == Pricing::Dantzig) return std::abs(dj);
+  return dj * dj / devex_w_[j];
+}
+
+int SimplexSolver::rebuild_candidates(int& direction) {
+  // Dantzig prices by full scan every iteration; only Devex amortizes the
+  // scan through a candidate list.
+  const bool build_list = options_.pricing != Pricing::Dantzig;
+  candidates_.clear();
+  int best = -1;
+  int best_dir = 0;
+  double best_score = 0.0;
+  // (score, column) of every eligible column; the candidate list keeps the
+  // top slice so subsequent iterations price against a short list instead
+  // of rescanning all n columns.
+  std::vector<std::pair<double, int>> scored;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    int dir = 0;
+    if (!eligible(j, dir)) continue;
+    const double s = pricing_score(j);
+    if (build_list) scored.emplace_back(s, static_cast<int>(j));
+    if (s > best_score) {  // strict: ties keep the lowest column index
+      best_score = s;
+      best = static_cast<int>(j);
+      best_dir = dir;
+    }
+  }
+  if (best < 0 || !build_list) {
+    direction = best_dir;
+    return best;
+  }
+
+  const std::size_t cap = std::max<std::size_t>(
+      16, cols_.size() / 16);
+  if (scored.size() > cap) {
+    std::nth_element(scored.begin(),
+                     scored.begin() + static_cast<std::ptrdiff_t>(cap),
+                     scored.end(), [](const auto& a, const auto& b) {
+                       return a.first != b.first ? a.first > b.first
+                                                 : a.second < b.second;
+                     });
+    scored.resize(cap);
+  }
+  candidates_.reserve(scored.size());
+  for (const auto& [s, j] : scored) candidates_.push_back(j);
+  std::sort(candidates_.begin(), candidates_.end());
+
+  direction = best_dir;
+  return best;
+}
+
+int SimplexSolver::select_entering(int& direction) {
+  if (use_bland_) {
+    // Bland's rule: first eligible index, ignoring weights and lists.
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      int dir = 0;
+      if (eligible(j, dir)) {
+        direction = dir;
+        return static_cast<int>(j);
+      }
+    }
+    return -1;
+  }
+  if (options_.pricing == Pricing::Dantzig) {
+    // Classic Dantzig: full scan for the most negative reduced cost, no
+    // candidate list (kept as the equivalence-testing reference rule).
+    return rebuild_candidates(direction);
+  }
+  // Price the candidate list with current reduced costs/weights, dropping
+  // stale entries; fall back to a full rebuild when it runs dry.
+  int best = -1;
+  int best_dir = 0;
+  double best_score = 0.0;
+  std::size_t keep = 0;
+  for (const int j : candidates_) {
+    int dir = 0;
+    if (!eligible(static_cast<std::size_t>(j), dir)) continue;
+    candidates_[keep++] = j;
+    const double s = pricing_score(static_cast<std::size_t>(j));
+    if (best < 0 || s > best_score) {
+      best_score = s;
+      best = j;
+      best_dir = dir;
+    }
+  }
+  candidates_.resize(keep);
+  if (best >= 0) {
+    direction = best_dir;
+    return best;
+  }
+  return rebuild_candidates(direction);
+}
+
+void SimplexSolver::pivot(int entering, int pos, NonbasicState leave_state) {
+  const auto eu = static_cast<std::size_t>(entering);
+  const auto pu = static_cast<std::size_t>(pos);
+  const auto out_col = static_cast<std::size_t>(basis_[pu]);
+  const double alpha_q = w_[pu];
+
+  // Maintained reduced costs: d_j <- d_j - (d_q / alpha_q) alpha_j over the
+  // pivot row, the leaving column picks up -d_q / alpha_q, the entering
+  // column becomes basic with d = 0.  (compute_pivot_row ran for `pos`
+  // against the pre-pivot basis, which is exactly the row this needs.)
+  const double ratio = d_[eu] / alpha_q;
+  const double gamma_q = devex_w_[eu];
+  for (const int j : alpha_cols_) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (ju == eu) continue;
+    d_[ju] -= ratio * alpha_[ju];
+    // Devex reference-framework update from the same pivot row.
+    const double r = alpha_[ju] / alpha_q;
+    devex_w_[ju] = std::max(devex_w_[ju], r * r * gamma_q);
+  }
+  d_[out_col] = -ratio;
+  d_[eu] = 0.0;
+  devex_w_[out_col] = std::max(gamma_q / (alpha_q * alpha_q), 1.0);
+
+  state_[out_col] = leave_state;
+  basis_[pu] = entering;
+  state_[eu] = NonbasicState::Basic;
+
+  // Absorb the basis change into the eta file; refactorize on a tiny pivot
+  // or when the eta file has grown past its limit.
+  if (std::abs(alpha_q) < kTinyPivot || !lu_.update(w_, pos)) {
+    refactorize();
+    return;
+  }
+  ++eta_updates_this_solve_;
+  if (lu_.eta_count() >= options_.eta_limit) refactorize();
 }
 
 SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase1) {
   const double tol = options_.pivot_tolerance;
   const auto mu = static_cast<std::size_t>(m_);
-  long since_refactor = 0;
 
-  std::vector<double> cb(mu, 0.0);
   for (;;) {
-    if (!begin_iteration(since_refactor)) return LoopResult::IterationLimit;
-
-    for (std::size_t i = 0; i < mu; ++i)
-      cb[i] = phase_cost_[static_cast<std::size_t>(basis_[i])];
-    btran(cb, y_);
+    if (!begin_iteration()) return LoopResult::IterationLimit;
 
     // --- pricing ---------------------------------------------------------
-    int entering = -1;
     int direction = 0;  // +1: entering increases, -1: decreases.
-    double best_score = tol;
-    for (std::size_t j = 0; j < cols_.size(); ++j) {
-      const NonbasicState st = state_[j];
-      if (st == NonbasicState::Basic) continue;
-      if (lb_[j] == ub_[j]) continue;  // fixed column can never improve
-      const auto& col = cols_[j];
-      double d = phase_cost_[j];
-      for (std::size_t k = 0; k < col.rows.size(); ++k)
-        d -= y_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
-
-      int dir = 0;
-      double score = 0.0;
-      if ((st == NonbasicState::AtLower || st == NonbasicState::AtZero) &&
-          d < -tol) {
-        dir = +1;
-        score = -d;
-      } else if ((st == NonbasicState::AtUpper || st == NonbasicState::AtZero) &&
-                 d > tol) {
-        dir = -1;
-        score = d;
-      } else {
-        continue;
-      }
-      if (use_bland_) {
-        entering = static_cast<int>(j);
-        direction = dir;
-        break;  // Bland: first eligible index.
-      }
-      if (score > best_score) {
-        best_score = score;
-        entering = static_cast<int>(j);
-        direction = dir;
-      }
-    }
+    const int entering = select_entering(direction);
     if (entering < 0) return LoopResult::Optimal;
 
     const auto eu = static_cast<std::size_t>(entering);
-    ftran(cols_[eu], w_);
+    ftran_column(cols_[eu], w_);
 
     // --- ratio test --------------------------------------------------------
     // The entering variable moves by t >= 0 in `direction`; basic variable i
@@ -388,26 +481,17 @@ SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase
     const double enter_value = enter_start + static_cast<double>(direction) * t;
 
     if (leaving < 0) {
-      // Bound flip: entering moves across to its opposite bound.
+      // Bound flip: entering moves across to its opposite bound.  The basis
+      // is unchanged, so reduced costs and Devex weights stay valid.
       state_[eu] = direction > 0 ? NonbasicState::AtUpper : NonbasicState::AtLower;
       continue;
     }
 
     const auto lu = static_cast<std::size_t>(leaving);
-    const auto out_col = static_cast<std::size_t>(basis_[lu]);
-    state_[out_col] =
-        leaving_to_upper ? NonbasicState::AtUpper : NonbasicState::AtLower;
-    basis_[lu] = entering;
-    state_[eu] = NonbasicState::Basic;
+    compute_pivot_row(leaving);
     xb_[lu] = enter_value;
-
-    // Product-form update of binv_: pivot on w_[leaving].
-    if (std::abs(w_[lu]) < 1e-11) {
-      refactorize();
-      since_refactor = 0;
-      continue;
-    }
-    product_form_update(lu);
+    pivot(entering, leaving,
+          leaving_to_upper ? NonbasicState::AtUpper : NonbasicState::AtLower);
   }
 }
 
@@ -415,11 +499,9 @@ SimplexSolver::LoopResult SimplexSolver::run_dual_simplex() {
   const double tol = options_.pivot_tolerance;
   const double ftol = options_.feasibility_tolerance;
   const auto mu = static_cast<std::size_t>(m_);
-  long since_refactor = 0;
 
-  std::vector<double> cb(mu, 0.0);
   for (;;) {
-    if (!begin_iteration(since_refactor)) return LoopResult::IterationLimit;
+    if (!begin_iteration()) return LoopResult::IterationLimit;
 
     // --- leaving row: the basic variable most outside its bounds ---------
     // (Bland mode: the violated row whose basic column has the smallest
@@ -452,42 +534,32 @@ SimplexSolver::LoopResult SimplexSolver::run_dual_simplex() {
     // Entering variable moves by delta = gap / alpha_j (signed).
     const double gap = xb_[lu] - target;
 
-    for (std::size_t i = 0; i < mu; ++i)
-      cb[i] = phase_cost_[static_cast<std::size_t>(basis_[i])];
-    btran(cb, y_);
-    const double* rho = &binv_[lu * mu];  // row `lu` of B^{-1}
+    compute_pivot_row(leaving);
 
     // --- dual ratio test: keep reduced-cost signs valid ------------------
     int entering = -1;
     double best_ratio = kInf;
     double best_alpha = 0.0;
-    for (std::size_t j = 0; j < cols_.size(); ++j) {
-      const NonbasicState st = state_[j];
-      if (st == NonbasicState::Basic) continue;
-      if (lb_[j] == ub_[j]) continue;  // fixed column cannot leave its bound
-      const auto& col = cols_[j];
-      double alpha = 0.0;
-      for (std::size_t k = 0; k < col.rows.size(); ++k)
-        alpha += rho[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+    for (const int j : alpha_cols_) {
+      const auto ju = static_cast<std::size_t>(j);
+      const NonbasicState st = state_[ju];
+      const double alpha = alpha_[ju];
       if (std::abs(alpha) <= tol) continue;
       // delta must move the entering variable off its bound feasibly:
       // up from a lower bound, down from an upper bound, either from free.
       const double delta = gap / alpha;
       if (st == NonbasicState::AtLower && delta < 0.0) continue;
       if (st == NonbasicState::AtUpper && delta > 0.0) continue;
-      double d = phase_cost_[j];
-      for (std::size_t k = 0; k < col.rows.size(); ++k)
-        d -= y_[static_cast<std::size_t>(col.rows[k])] * col.values[k];
-      const double ratio = std::abs(d) / std::abs(alpha);
+      const double ratio = std::abs(d_[ju]) / std::abs(alpha);
       const bool take =
           entering < 0 || ratio < best_ratio - tol ||
           (ratio < best_ratio + tol &&
-           (use_bland_ ? static_cast<int>(j) < entering
+           (use_bland_ ? j < entering
                        : std::abs(alpha) > std::abs(best_alpha)));
       if (take) {
         best_ratio = std::min(best_ratio, ratio);
         best_alpha = alpha;
-        entering = static_cast<int>(j);
+        entering = j;
       }
     }
     if (entering < 0) {
@@ -498,24 +570,19 @@ SimplexSolver::LoopResult SimplexSolver::run_dual_simplex() {
 
     // --- pivot -----------------------------------------------------------
     const auto eu = static_cast<std::size_t>(entering);
-    ftran(cols_[eu], w_);
+    ftran_column(cols_[eu], w_);
     const double piv = w_[lu];
-    if (std::abs(piv) < 1e-11) {
+    if (std::abs(piv) < kTinyPivot) {
       refactorize();
-      since_refactor = 0;
       continue;
     }
     const double delta = gap / piv;
     const double enter_start = nonbasic_value(entering);
     for (std::size_t i = 0; i < mu; ++i) xb_[i] -= delta * w_[i];
-
-    state_[out_col] =
-        exit_at_lower ? NonbasicState::AtLower : NonbasicState::AtUpper;
-    basis_[lu] = entering;
-    state_[eu] = NonbasicState::Basic;
     xb_[lu] = enter_start + delta;
 
-    product_form_update(lu);
+    pivot(entering, leaving,
+          exit_at_lower ? NonbasicState::AtLower : NonbasicState::AtUpper);
   }
 }
 
@@ -639,17 +706,23 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
 
   reset_state(lower, upper);
 
+  const auto fill_counters = [&](Solution& s) {
+    s.simplex_iterations = iterations_this_solve_;
+    s.refactorizations = refactorizations_this_solve_;
+    s.eta_updates = eta_updates_this_solve_;
+  };
+
   // ---- Warm start: replay a snapshotted basis under the new bounds ---------
   bool warm_ok = false;
   if (options_.warm_start && warm != nullptr && warm->valid()) {
+    phase_cost_ = cost_;  // refactorize() recomputes reduced costs from this
     warm_ok = try_install_warm_basis(*warm);
     if (!warm_ok) reset_state(lower, upper);  // wipe the partial install
   }
 
   if (warm_ok) {
-    phase_cost_ = cost_;
     const LoopResult rd = run_dual_simplex();
-    sol.simplex_iterations = iterations_this_solve_;
+    fill_counters(sol);
     if (rd == LoopResult::IterationLimit) {
       // Not counted as warm-started: the replay never finished, so the
       // node is dropped unresolved and must not inflate warm coverage.
@@ -673,7 +746,7 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
     if (n_art_ > 0) {
       sol.phase1_nodes = 1;
       const LoopResult r = run_simplex(/*phase1=*/true);
-      sol.simplex_iterations = iterations_this_solve_;
+      fill_counters(sol);
       if (r == LoopResult::IterationLimit) {
         sol.status = Status::IterationLimit;
         sol.solve_seconds = watch.elapsed_seconds();
@@ -698,12 +771,17 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
           state_[j] = NonbasicState::AtLower;
       }
     }
+    // ---- Phase 2 objective swap: maintained reduced costs and the Devex
+    // reference framework belong to the phase-1 costs; rebuild both.
+    phase_cost_ = cost_;
+    recompute_reduced_costs();
+    devex_w_.assign(cols_.size(), 1.0);
+    candidates_.clear();
   }
 
   // ---- Phase 2: true objective ---------------------------------------------
-  phase_cost_ = cost_;
   const LoopResult r2 = run_simplex(/*phase1=*/false);
-  sol.simplex_iterations = iterations_this_solve_;
+  fill_counters(sol);
   sol.solve_seconds = watch.elapsed_seconds();
   if (r2 == LoopResult::Unbounded) {
     sol.status = Status::Unbounded;
@@ -738,10 +816,10 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
   // Duals and reduced costs from the final basis (phase-2 costs).
   {
     const auto mu = static_cast<std::size_t>(m_);
-    std::vector<double> cb(mu);
+    y_.assign(mu, 0.0);
     for (std::size_t i = 0; i < mu; ++i)
-      cb[i] = cost_[static_cast<std::size_t>(basis_[i])];
-    btran(cb, y_);
+      y_[i] = cost_[static_cast<std::size_t>(basis_[i])];
+    lu_.btran(y_);
     sol.duals.assign(y_.begin(), y_.end());
     sol.reduced_costs.assign(static_cast<std::size_t>(n_struct_), 0.0);
     for (int j = 0; j < n_struct_; ++j) {

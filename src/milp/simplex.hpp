@@ -1,26 +1,35 @@
-// Bounded-variable revised primal + dual simplex.
+// Bounded-variable revised primal + dual simplex on a sparse LU kernel.
 //
 // Linear programs are solved in the standard computational form
 //   min c^T x   s.t.  A x = b,   l <= x <= u,
 // built by appending one logical (slack) column per row.  Phase 1 introduces
 // artificial columns only for rows whose logical value falls outside its
 // bounds and minimizes their sum; phase 2 minimizes the true objective with
-// artificials fixed at zero.  The basis inverse is kept as a dense matrix
-// updated by product-form pivots and refactorized periodically for numeric
-// hygiene.  Dantzig pricing with an automatic switch to Bland's rule
-// guarantees termination on degenerate instances.
+// artificials fixed at zero.
+//
+// The basis is held as a sparse LU factorization (see basis_lu.hpp) with
+// product-form eta updates between refactorizations, so FTRAN/BTRAN cost
+// O(nnz) instead of the dense O(m^2) of the previous kernel.  Reduced costs
+// are maintained incrementally from the pivot row and recomputed exactly at
+// every refactorization.  Pricing is Devex (reference-framework weights,
+// reset on refactorization) over a candidate list, with Dantzig available
+// as an option and an automatic switch to Bland's rule for termination on
+// degenerate instances.  The primal and dual loops share the pivot-row
+// computation, reduced-cost update, and basis-change bookkeeping.
 //
 // The solver pre-builds the standard form once per Model; branch-and-bound
 // re-solves with per-node bound overrides without rebuilding.  A solve that
 // ends at an optimal basis can be snapshotted (capture_basis) and replayed
-// as a warm start for a re-solve under tightened bounds: the snapshot basis
-// stays dual feasible, so the dual simplex restores primal feasibility in a
-// handful of pivots and phase 1 is skipped entirely.
+// as a warm start for a re-solve under tightened bounds: the snapshot is a
+// basis header plus nonbasic statuses — no factorization state — and is
+// installed by a single refactorization; the dual simplex then restores
+// primal feasibility in a handful of pivots and phase 1 is skipped.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "milp/basis_lu.hpp"
 #include "milp/model.hpp"
 #include "milp/solution.hpp"
 
@@ -59,10 +68,7 @@ class SimplexSolver {
   [[nodiscard]] WarmStartBasis capture_basis() const;
 
  private:
-  struct SparseColumn {
-    std::vector<int> rows;
-    std::vector<double> values;
-  };
+  using SparseColumn = SparseVec;
   enum class NonbasicState : unsigned char { AtLower, AtUpper, AtZero, Basic };
 
   // --- setup -------------------------------------------------------------
@@ -75,10 +81,20 @@ class SimplexSolver {
   bool try_install_warm_basis(const WarmStartBasis& warm);
 
   // --- linear algebra ----------------------------------------------------
-  void refactorize();                                  ///< Rebuild binv_, xb_.
-  void ftran(const SparseColumn& col, std::vector<double>& out) const;
-  void btran(const std::vector<double>& cb, std::vector<double>& out) const;
+  /// Rebuilds the LU factorization from basis_, then recomputes xb_ and the
+  /// maintained reduced costs and resets the Devex reference framework.
+  /// Throws std::runtime_error on a singular basis.
+  void refactorize();
   void recompute_basic_values();
+  void recompute_reduced_costs();
+  /// Scatters `col` and ftrans it through the LU+etas into `out`
+  /// (position-indexed pivot column).
+  void ftran_column(const SparseColumn& col, std::vector<double>& out) const;
+  /// Computes row `pos` of B^-1 A over all candidate-eligible columns:
+  /// rho_ = btran(e_pos), then alpha_[j] = rho_ . A_j for every nonbasic j
+  /// (basic columns and fixed columns get 0).  Also records the touched
+  /// column list in alpha_cols_.
+  void compute_pivot_row(int pos);
 
   // --- simplex core ------------------------------------------------------
   /// Runs the simplex loop with the current cost vector; returns the phase
@@ -90,16 +106,33 @@ class SimplexSolver {
   /// out of iterations.
   LoopResult run_dual_simplex();
 
+  // --- pricing -----------------------------------------------------------
+  /// True when column j may profitably move in some direction at the
+  /// current reduced cost; `dir` receives +1 (increase) or -1 (decrease).
+  [[nodiscard]] bool eligible(std::size_t j, int& dir) const;
+  /// Entering column by the active rule (Devex/Dantzig over the candidate
+  /// list, Bland when the anti-cycling fallback is armed); -1 when every
+  /// column prices out (optimal for the active objective).
+  int select_entering(int& direction);
+  /// Rebuilds the pricing candidate list by a full scan; returns the best
+  /// column (and its direction) or -1 when none is eligible.
+  int rebuild_candidates(int& direction);
+  [[nodiscard]] double pricing_score(std::size_t j) const;
+
+  // --- shared pivot bookkeeping -----------------------------------------
+  /// Applies the basis exchange at row `pos`: entering column becomes
+  /// basic, leaving column takes `leave_state`, maintained reduced costs
+  /// and Devex weights are updated from the pivot row (compute_pivot_row
+  /// must have run for `pos`), and the eta file / factorization absorbs the
+  /// change.  `w_` must hold the ftran of the entering column.
+  void pivot(int entering, int pos, NonbasicState leave_state);
+
   [[nodiscard]] double nonbasic_value(int j) const;
-  [[nodiscard]] double column_objective(int j) const;
   [[nodiscard]] long bland_threshold() const noexcept;
   /// Shared per-iteration bookkeeping of both simplex loops: iteration
   /// budget, Bland-rule trigger, periodic refactorization.  Returns false
   /// when the iteration budget is exhausted.
-  bool begin_iteration(long& since_refactor);
-  /// Product-form update of binv_ after a pivot on row `lu` with the
-  /// current ftran column w_ (pivot element w_[lu]).
-  void product_form_update(std::size_t lu);
+  bool begin_iteration();
 
   // Problem dimensions.
   int m_ = 0;        ///< Rows.
@@ -117,18 +150,29 @@ class SimplexSolver {
   // Basis state.
   std::vector<int> basis_;              ///< Column index per row.
   std::vector<NonbasicState> state_;    ///< Per column.
-  std::vector<double> binv_;            ///< Dense m x m row-major B^{-1}.
+  BasisLU lu_;                          ///< Sparse factorization + eta file.
   std::vector<double> xb_;              ///< Basic variable values.
+
+  // Pricing state.
+  std::vector<double> d_;         ///< Maintained reduced costs per column.
+  std::vector<double> devex_w_;   ///< Devex reference weights per column.
+  std::vector<int> candidates_;   ///< Current pricing candidate list.
 
   SolverOptions options_;
   long iterations_ = 0;
   long iterations_this_solve_ = 0;
+  long since_refactor_ = 0;
+  long refactorizations_this_solve_ = 0;
+  long eta_updates_this_solve_ = 0;
   bool use_bland_ = false;
   bool basis_capturable_ = false;  ///< Last solve ended at an optimal basis.
 
   // Scratch buffers reused across iterations.
-  std::vector<double> y_;  ///< Duals.
-  std::vector<double> w_;  ///< Pivot column in basis coordinates.
+  std::vector<double> y_;          ///< Duals (btran of basic costs).
+  std::vector<double> w_;          ///< Pivot column in basis coordinates.
+  std::vector<double> rho_;        ///< btran(e_pos) for the pivot row.
+  std::vector<double> alpha_;      ///< Pivot row over nonbasic columns.
+  std::vector<int> alpha_cols_;    ///< Columns with nonzero alpha_.
 };
 
 }  // namespace ww::milp

@@ -6,6 +6,8 @@
 
 namespace ww::milp {
 
+class Model;
+
 enum class Status {
   Optimal,          ///< Proven optimal (LP) or tree exhausted with incumbent.
   Infeasible,       ///< No feasible point exists.
@@ -42,6 +44,10 @@ struct Solution {
   /// Nodes that needed a phase-1 run with artificial columns (cold starts
   /// whose initial logical basis was primal infeasible).
   long phase1_nodes = 0;
+  /// Sparse-kernel diagnostics: full LU factorizations of the basis and
+  /// product-form eta columns absorbed between them.
+  long refactorizations = 0;
+  long eta_updates = 0;
   double best_bound = 0.0;  ///< Proven lower bound on the optimum.
   double solve_seconds = 0.0;
 
@@ -52,6 +58,20 @@ struct Solution {
   [[nodiscard]] bool usable() const noexcept {
     return status == Status::Optimal || has_incumbent;
   }
+
+  /// Wraps a heuristic feasible point as a seed incumbent for
+  /// branch-and-bound (initial upper bound; pruning starts at node 0).
+  /// The objective is recomputed from the model so seeded and tree-found
+  /// incumbents compare on identical arithmetic.  Status is NodeLimit:
+  /// feasible but unproven.  Defined in branch_and_bound.cpp.
+  [[nodiscard]] static Solution incumbent_from_heuristic(
+      const Model& model, std::vector<double> values);
+};
+
+/// Entering-variable selection rule for the primal simplex.
+enum class Pricing {
+  Devex,    ///< Reference-framework Devex weights with a candidate list.
+  Dantzig,  ///< Most-negative reduced cost (full scan of maintained costs).
 };
 
 struct SolverOptions {
@@ -64,7 +84,17 @@ struct SolverOptions {
   double mip_gap_abs = 1e-9;           ///< Prune nodes within this of the
                                        ///< incumbent (absolute).
   double mip_gap_rel = 1e-6;           ///< ... or within this fraction.
-  int refactor_interval = 64;          ///< Basis refactorization cadence.
+  int refactor_interval = 100;         ///< Iteration cadence backstop for
+                                       ///< refactorization (numeric hygiene
+                                       ///< for xb / reduced-cost drift).
+  /// Maximum product-form eta columns accumulated before the basis is
+  /// refactorized.  Each eta makes every ftran/btran a little more
+  /// expensive and a little less accurate; refactorizing resets both.
+  int eta_limit = 64;
+  /// Entering-variable rule; Devex is the default, Dantzig kept for
+  /// equivalence testing.  Both fall back to Bland's rule after
+  /// `bland_iterations` for anti-cycling.
+  Pricing pricing = Pricing::Devex;
   /// Branch-and-bound re-solves child nodes from the parent's optimal basis
   /// with the dual simplex (a single tightened bound keeps the parent basis
   /// dual feasible, so phase 1 and its artificial columns are skipped).

@@ -92,5 +92,35 @@ TEST(Model, MaxViolationSenses) {
   EXPECT_DOUBLE_EQ(m.max_violation({1.0}), 2.0);  // eq off by 2, ge off by 1
 }
 
+TEST(Model, UnnamedEntitiesSynthesizeNames) {
+  // The unnamed overloads store no string (the model-build fast path);
+  // names come back synthesized on demand, while stored names round-trip.
+  Model m;
+  const int a = m.add_binary();
+  const int b = m.add_continuous(0.0, 1.0);
+  const int c = m.add_variable("named", 0.0, 2.0, VarType::Integer, 1.0);
+  const int r0 = m.add_constraint({{a, 1.0}, {b, 1.0}}, Sense::LessEqual, 1.5);
+  const int r1 = m.add_constraint("row", {{c, 1.0}}, Sense::Equal, 1.0);
+  EXPECT_TRUE(m.variable(a).name.empty());
+  EXPECT_EQ(m.variable_name(a), "x0");
+  EXPECT_EQ(m.variable_name(b), "x1");
+  EXPECT_EQ(m.variable_name(c), "named");
+  EXPECT_EQ(m.constraint_name(r0), "c0");
+  EXPECT_EQ(m.constraint_name(r1), "row");
+  // Unnamed entities behave identically to named ones in the solver path.
+  EXPECT_EQ(m.num_variables(), 3);
+  EXPECT_EQ(m.num_constraints(), 2);
+}
+
+TEST(Model, ReservePreservesContents) {
+  Model m;
+  m.reserve(100, 50);
+  const int x = m.add_binary(2.0);
+  (void)m.add_constraint({{x, 1.0}}, Sense::LessEqual, 1.0);
+  EXPECT_EQ(m.num_variables(), 1);
+  EXPECT_EQ(m.num_constraints(), 1);
+  EXPECT_DOUBLE_EQ(m.variable(x).objective, 2.0);
+}
+
 }  // namespace
 }  // namespace ww::milp
