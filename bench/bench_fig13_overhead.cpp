@@ -30,6 +30,12 @@ void report(const char* label, const ww::dc::CampaignResult& res,
             << " LU refactorizations, " << solver.eta_updates
             << " eta updates, " << solver.seeded_incumbents
             << " greedy-seeded solves\n";
+  std::cout << "  presolve: " << solver.presolve_rows_removed << " rows, "
+            << solver.presolve_cols_removed << " cols, "
+            << solver.presolve_nonzeros_removed
+            << " nonzeros removed before the simplex ("
+            << util::Table::fixed(solver.presolve_seconds * 1000.0, 3)
+            << " ms total)\n";
 
   // Time series in 10-minute buckets (paper plots minutes on the x-axis).
   util::Table series({"Sim minute", "Mean decision ms", "Overhead % of exec"});

@@ -2,9 +2,12 @@
 // sizes, capacity-timeline operations, and footprint evaluation — the hot
 // paths behind the Fig. 13 overhead numbers.
 //
-// Before the benchmark loop runs, a warm-start self-check solves a
-// branching-heavy corpus twice (warm vs. cold) and verifies the acceptance
-// bar: >= 90% of non-root nodes warm-started with identical objectives.
+// Before the benchmark loop runs, two self-checks gate the binary (exit
+// nonzero on regression, so the CI smoke run catches rot):
+//   1. warm-start: a branching-heavy corpus solved warm vs. cold must keep
+//      >= 90% of non-root nodes warm-started with identical objectives;
+//   2. presolve: every corpus family solved with presolve on vs. off must
+//      agree on status and objective, so the ablation path cannot drift.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -20,38 +23,6 @@
 namespace {
 
 using namespace ww;
-
-/// Builds a WaterWise-shaped MILP: jobs x regions assignment binaries,
-/// capacity rows, delay rows.
-milp::Model waterwise_shaped_model(int jobs, int regions, util::Rng& rng) {
-  milp::Model m;
-  std::vector<int> x(static_cast<std::size_t>(jobs * regions));
-  for (int j = 0; j < jobs; ++j)
-    for (int r = 0; r < regions; ++r)
-      x[static_cast<std::size_t>(j * regions + r)] =
-          m.add_binary("x", rng.uniform(0.1, 2.0));
-  for (int j = 0; j < jobs; ++j) {
-    std::vector<milp::Term> t;
-    for (int r = 0; r < regions; ++r)
-      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
-    (void)m.add_constraint("a", std::move(t), milp::Sense::Equal, 1.0);
-  }
-  for (int r = 0; r < regions; ++r) {
-    std::vector<milp::Term> t;
-    for (int j = 0; j < jobs; ++j)
-      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
-    (void)m.add_constraint("c", std::move(t), milp::Sense::LessEqual,
-                           std::ceil(jobs / static_cast<double>(regions)) + 1.0);
-  }
-  for (int j = 0; j < jobs; ++j) {
-    std::vector<milp::Term> t;
-    for (int r = 1; r < regions; ++r)
-      t.push_back({x[static_cast<std::size_t>(j * regions + r)],
-                   rng.uniform(1.0, 20.0)});
-    (void)m.add_constraint("d", std::move(t), milp::Sense::LessEqual, 25.0);
-  }
-  return m;
-}
 
 /// Branching-heavy instance shared with tests/milp_warm_start_test.cpp (via
 /// milp/instances.hpp) so the bench self-check and the test corpus exercise
@@ -112,12 +83,67 @@ void warm_start_selfcheck() {
   if (!ok) std::exit(1);
 }
 
+/// Solves every corpus family with presolve on and off and verifies the
+/// answers agree; exits nonzero on divergence so the ablation path (and the
+/// postsolve mapping) cannot rot unnoticed.
+void presolve_selfcheck() {
+  struct Case {
+    const char* name;
+    milp::Model model;
+  };
+  const Case corpus[] = {
+      {"shaped-64x5", milp::waterwise_shaped_model(64, 5)},
+      {"hard-chunk-200x5", milp::hard_chunk_model(200, 5, 0.4)},
+      {"soft-chunk-100x5", milp::soft_chunk_model(100, 5)},
+      {"weak-relax-16x3", milp::weak_relaxation_model(16, 3, 7.0)},
+  };
+  bool ok = true;
+  long rows_removed = 0;
+  long cols_removed = 0;
+  for (const Case& c : corpus) {
+    milp::SolverOptions on_opts;
+    on_opts.presolve = true;
+    milp::SolverOptions off_opts;
+    off_opts.presolve = false;
+    const milp::Solution on = milp::solve(c.model, on_opts);
+    const milp::Solution off = milp::solve(c.model, off_opts);
+    if (on.status != off.status ||
+        std::abs(on.objective - off.objective) > 1e-7 ||
+        c.model.max_violation(on.values) > 1e-6) {
+      std::fprintf(stderr,
+                   "presolve self-check FAILED (%s): on %s %.9f (viol %.2e) "
+                   "vs off %s %.9f\n",
+                   c.name, milp::to_string(on.status).c_str(), on.objective,
+                   c.model.max_violation(on.values),
+                   milp::to_string(off.status).c_str(), off.objective);
+      ok = false;
+      continue;
+    }
+    rows_removed += on.presolve_rows_removed;
+    cols_removed += on.presolve_cols_removed;
+  }
+  if (rows_removed + cols_removed == 0) {
+    // A corpus presolve never touches would make this check vacuous.
+    std::fprintf(stderr,
+                 "presolve self-check FAILED: corpus produced no "
+                 "reductions, presolve path unexercised\n");
+    ok = false;
+  }
+  std::printf(
+      "presolve self-check: on == off across the corpus (%ld rows, %ld cols "
+      "removed), postsolve feasible\n",
+      rows_removed, cols_removed);
+  if (!ok) std::exit(1);
+}
+
 void solve_with_counters(benchmark::State& state, const milp::Model& model,
                          const milp::SolverOptions& opts) {
   long nodes = 0;
   long warm = 0;
   long phase1 = 0;
   long iters = 0;
+  long pre_rows = 0;
+  long pre_cols = 0;
   for (auto _ : state) {
     const milp::Solution sol = milp::solve(model, opts);
     benchmark::DoNotOptimize(sol.objective);
@@ -126,6 +152,8 @@ void solve_with_counters(benchmark::State& state, const milp::Model& model,
     warm += sol.warm_started_nodes;
     phase1 += sol.phase1_nodes;
     iters += sol.simplex_iterations;
+    pre_rows += sol.presolve_rows_removed;
+    pre_cols += sol.presolve_cols_removed;
   }
   state.counters["nodes"] =
       benchmark::Counter(static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
@@ -135,12 +163,15 @@ void solve_with_counters(benchmark::State& state, const milp::Model& model,
       benchmark::Counter(static_cast<double>(phase1), benchmark::Counter::kAvgIterations);
   state.counters["simplex_it"] =
       benchmark::Counter(static_cast<double>(iters), benchmark::Counter::kAvgIterations);
+  state.counters["pre_rows"] =
+      benchmark::Counter(static_cast<double>(pre_rows), benchmark::Counter::kAvgIterations);
+  state.counters["pre_cols"] =
+      benchmark::Counter(static_cast<double>(pre_cols), benchmark::Counter::kAvgIterations);
 }
 
 void BM_MilpSolveBatch(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
-  util::Rng rng(42);
-  const milp::Model model = waterwise_shaped_model(jobs, 5, rng);
+  const milp::Model model = milp::waterwise_shaped_model(jobs, 5);
   solve_with_counters(state, model, {});
   state.SetLabel(std::to_string(jobs) + " jobs x 5 regions");
 }
@@ -154,17 +185,52 @@ void BM_MilpSolveLargeChunk(benchmark::State& state) {
   // (810 rows, ~4 nonzeros per column).  The dense kernel took ~1.2 s per
   // solve here; the sparse LU kernel is expected well under a third of it.
   const int jobs = static_cast<int>(state.range(0));
-  util::Rng rng(42);
-  const milp::Model model = waterwise_shaped_model(jobs, 10, rng);
+  const milp::Model model = milp::waterwise_shaped_model(jobs, 10);
   solve_with_counters(state, model, {});
   state.SetLabel(std::to_string(jobs) + " jobs x 10 regions");
 }
 BENCHMARK(BM_MilpSolveLargeChunk)->Arg(400)->Unit(benchmark::kMillisecond);
 
+void BM_MilpSolveHardChunk(benchmark::State& state) {
+  // The hard chunk model exactly as the scheduler emits it: delay handled
+  // by x_mn = 0 bound fixings (40% of remote pairs).  This is presolve's
+  // home turf — fixed columns substitute out, emptied capacity rows drop —
+  // so the on/off pair below is the per-solve presolve speedup bar at
+  // 405/810 rows.
+  const int jobs = static_cast<int>(state.range(0));
+  const int regions = static_cast<int>(state.range(1));
+  const milp::Model model = milp::hard_chunk_model(jobs, regions, 0.4);
+  milp::SolverOptions opts;
+  opts.presolve = state.range(2) != 0;
+  solve_with_counters(state, model, opts);
+  state.SetLabel(std::to_string(jobs) + " jobs x " + std::to_string(regions) +
+                 " regions, presolve " + (state.range(2) ? "on" : "off"));
+}
+BENCHMARK(BM_MilpSolveHardChunk)
+    ->Args({200, 5, 1})->Args({200, 5, 0})
+    ->Args({400, 10, 1})->Args({400, 10, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpSolveSoftChunk(benchmark::State& state) {
+  // The soft-model pathology at paper scale: a full chunk whose delay rows
+  // all softened (Eq. 12-13), several thousand rows of per-pair penalty
+  // structure.  ~3800 rows at 400 x 10.
+  const int jobs = static_cast<int>(state.range(0));
+  const int regions = static_cast<int>(state.range(1));
+  const milp::Model model = milp::soft_chunk_model(jobs, regions);
+  milp::SolverOptions opts;
+  opts.presolve = state.range(2) != 0;
+  solve_with_counters(state, model, opts);
+  state.SetLabel(std::to_string(jobs) + " jobs x " + std::to_string(regions) +
+                 " regions soft, presolve " + (state.range(2) ? "on" : "off"));
+}
+BENCHMARK(BM_MilpSolveSoftChunk)
+    ->Args({400, 10, 1})->Args({400, 10, 0})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MilpPricingRule(benchmark::State& state) {
   // Devex-vs-Dantzig iteration/latency trade at a mid scheduler scale.
-  util::Rng rng(42);
-  const milp::Model model = waterwise_shaped_model(128, 5, rng);
+  const milp::Model model = milp::waterwise_shaped_model(128, 5);
   milp::SolverOptions opts;
   opts.pricing = state.range(0) == 0 ? milp::Pricing::Devex
                                      : milp::Pricing::Dantzig;
@@ -235,6 +301,7 @@ BENCHMARK(BM_EnvironmentQuery);
 
 int main(int argc, char** argv) {
   warm_start_selfcheck();
+  presolve_selfcheck();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

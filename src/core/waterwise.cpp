@@ -45,6 +45,17 @@ milp::Solution WaterWiseScheduler::run_model(
       x[static_cast<std::size_t>(j * n + r)] = model.add_binary();
   *out_num_assign_vars = m * n;
 
+  // A region with no free capacity cannot take any job this window.  The
+  // capacity row (sum x <= 0) already implies it, but stating the fixings
+  // as explicit bounds lets presolve substitute the columns out (and drop
+  // the then-empty capacity row) before the simplex ever sees them.
+  for (int r = 0; r < n; ++r) {
+    if (caps[static_cast<std::size_t>(r)] > 0) continue;
+    for (int j = 0; j < m; ++j)
+      model.set_variable_bounds(x[static_cast<std::size_t>(j * n + r)], 0.0,
+                                0.0);
+  }
+
   // Objective: Eq. 8 normalized footprint costs + history reference terms.
   for (int j = 0; j < m; ++j) {
     const dc::PendingJob& p = *chunk[static_cast<std::size_t>(j)];
@@ -145,6 +156,8 @@ milp::Solution WaterWiseScheduler::run_model(
       // would cause, proportional to x so the relaxation has no penalty-free
       // fractional region and LP vertices stay integral.
       for (int r = 0; r < n; ++r) {
+        if (caps[static_cast<std::size_t>(r)] <= 0)
+          continue;  // x_mn fixed to 0 above; no penalty row needed
         const double latency = ctx.env->transfer_latency_seconds(
             p.job->home_region, r, p.job->package_bytes);
         const double exceedance = latency - allowance;
@@ -260,6 +273,10 @@ milp::Solution WaterWiseScheduler::run_model(
   stats_.phase1_nodes += sol.phase1_nodes;
   stats_.refactorizations += sol.refactorizations;
   stats_.eta_updates += sol.eta_updates;
+  stats_.presolve_rows_removed += sol.presolve_rows_removed;
+  stats_.presolve_cols_removed += sol.presolve_cols_removed;
+  stats_.presolve_nonzeros_removed += sol.presolve_nonzeros_removed;
+  stats_.presolve_seconds += sol.presolve_seconds;
   stats_.solve_seconds += sol.solve_seconds;
   return sol;
 }

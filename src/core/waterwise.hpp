@@ -73,6 +73,13 @@ struct SchedulerStats {
   /// Solves handed a greedy seed candidate (the solver re-validates the
   /// seed against bounds/rows/integrality before adopting it).
   long seeded_incumbents = 0;
+  /// Presolve reductions across all solves: model rows/columns/nonzeros the
+  /// simplex never saw (delay-fixed columns, redundant capacity rows, ...)
+  /// and the wall-clock the reductions cost (included in solve_seconds).
+  long presolve_rows_removed = 0;
+  long presolve_cols_removed = 0;
+  long presolve_nonzeros_removed = 0;
+  double presolve_seconds = 0.0;
   double solve_seconds = 0.0;    ///< Wall-clock inside milp::solve.
 
   /// Non-root branch-and-bound nodes across all solves (the population the

@@ -54,6 +54,15 @@ bool BasisLU::factorize(int m, const std::vector<SparseVec>& cols,
   std::vector<double>& x = work_;  // dense accumulator, row-indexed
   std::vector<int> touched;
   touched.reserve(mu);
+  // Gilbert-Peierls symbolic phase scratch: which elimination steps carry a
+  // (structurally) nonzero multiplier for the current column — the reach
+  // set of the column's pattern over the L pattern, found by DFS instead of
+  // probing every prior pivot.
+  std::vector<unsigned char> step_marked(mu, 0);
+  std::vector<int> reach;
+  reach.reserve(mu);
+  std::vector<int> dfs_stack;
+  dfs_stack.reserve(mu);
 
   for (int k = 0; k < m; ++k) {
     const auto ku = static_cast<std::size_t>(k);
@@ -67,10 +76,42 @@ bool BasisLU::factorize(int m, const std::vector<SparseVec>& cols,
       if (x[r] == 0.0) touched.push_back(col.rows[t]);
       x[r] += col.values[t];
     }
-    for (int k2 = 0; k2 < k; ++k2) {
+
+    // Symbolic phase: step k2 < k can have a nonzero multiplier only if its
+    // pivot row is reachable from the column's pattern through L columns (a
+    // row pivotal at step s seeds step s; applying L column s touches rows
+    // l_rows_[s], which may themselves be pivotal at a later step).  The
+    // DFS makes the sweep output-sensitive — O(|reach| + pattern edges)
+    // instead of the former Theta(k) probe per column, i.e. Theta(m^2) per
+    // refactorization.  Ascending step order is a valid topological order
+    // of the reach set (an L column only touches rows that become pivotal
+    // at later steps) and matches the arithmetic order of the old full
+    // probe exactly, so factorizations stay bitwise identical.
+    reach.clear();
+    for (const int r : touched) {
+      const int s0 = pinv_[static_cast<std::size_t>(r)];
+      if (s0 < 0 || step_marked[static_cast<std::size_t>(s0)] != 0) continue;
+      step_marked[static_cast<std::size_t>(s0)] = 1;
+      dfs_stack.push_back(s0);
+      while (!dfs_stack.empty()) {
+        const int s = dfs_stack.back();
+        dfs_stack.pop_back();
+        reach.push_back(s);
+        for (const int r2 : l_rows_[static_cast<std::size_t>(s)]) {
+          const int s2 = pinv_[static_cast<std::size_t>(r2)];
+          if (s2 < 0 || step_marked[static_cast<std::size_t>(s2)] != 0)
+            continue;
+          step_marked[static_cast<std::size_t>(s2)] = 1;
+          dfs_stack.push_back(s2);
+        }
+      }
+    }
+    std::sort(reach.begin(), reach.end());
+    for (const int k2 : reach) {
       const auto k2u = static_cast<std::size_t>(k2);
+      step_marked[k2u] = 0;
       const double mult = x[static_cast<std::size_t>(p_[k2u])];
-      if (mult == 0.0) continue;
+      if (mult == 0.0) continue;  // numeric cancellation
       const auto& lr = l_rows_[k2u];
       const auto& lv = l_vals_[k2u];
       for (std::size_t t = 0; t < lr.size(); ++t) {

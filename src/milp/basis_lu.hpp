@@ -2,11 +2,12 @@
 //
 // The basis matrix B maps basis positions to rows: column i of B is the
 // constraint-matrix column of the variable basic in position i.  BasisLU
-// factorizes P B Q = L U by left-looking (Gilbert-Peierls-style)
-// elimination — the per-column lower solve sweeps prior pivots with a
-// skip-on-zero multiplier test rather than a symbolic DFS, an O(m) scan
-// per column that is negligible next to the numeric work at the basis
-// sizes the scheduler builds — with a Markowitz-biased static column order
+// factorizes P B Q = L U by left-looking Gilbert-Peierls elimination — the
+// per-column lower solve first runs the symbolic phase, a DFS over the L
+// pattern that finds exactly the elimination steps whose multiplier can be
+// structurally nonzero, so each column costs O(|reach| + pattern edges)
+// instead of probing all prior pivots (Theta(m^2) per refactorization) —
+// with a Markowitz-biased static column order
 // (ascending nonzero count, so logical/slack singletons peel off
 // fill-free) and threshold row pivoting that prefers sparse rows among
 // numerically acceptable candidates.  Between

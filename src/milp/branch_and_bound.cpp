@@ -5,8 +5,10 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "milp/presolve.hpp"
 #include "util/timer.hpp"
 
 namespace ww::milp {
@@ -77,6 +79,12 @@ BranchAndBound::BranchAndBound(const Model& model, SolverOptions options)
     : model_(model), options_(options) {}
 
 Solution BranchAndBound::solve(const Solution* seed) {
+  // Presolve lives in the milp::solve facade; route through it so a
+  // directly-constructed BranchAndBound sees the same reductions.  The
+  // facade clears the flag before solving the reduced model, so the tree
+  // below always runs on a presolved (or deliberately raw) model.
+  if (options_.presolve) return ww::milp::solve(model_, options_, seed);
+
   const util::Stopwatch watch;
   SimplexSolver lp(model_, options_);
 
@@ -382,14 +390,80 @@ Solution BranchAndBound::solve(const Solution* seed) {
   return best;
 }
 
-Solution solve(const Model& model, SolverOptions options,
-               const Solution* seed) {
+namespace {
+
+/// The raw dispatch: LP relaxation solver for continuous models,
+/// branch-and-bound otherwise.  Callers have already dealt with presolve.
+Solution solve_raw(const Model& model, const SolverOptions& options,
+                   const Solution* seed) {
   if (!model.has_integer_variables()) {
     SimplexSolver lp(model, options);
     return lp.solve();
   }
   BranchAndBound bb(model, options);
   return bb.solve(seed);
+}
+
+}  // namespace
+
+Solution solve(const Model& model, SolverOptions options,
+               const Solution* seed) {
+  if (!options.presolve) return solve_raw(model, options, seed);
+
+  // Presolve wrapper: reduce, solve the reduced model with presolve off,
+  // then map the solution (values, duals, counters) back onto `model` so
+  // callers cannot tell the difference from a raw solve.
+  options.presolve = false;
+  Presolve pre;
+  if (pre.run(model, options) == Presolve::Result::Infeasible) {
+    Solution sol;
+    sol.status = Status::Infeasible;
+    pre.postsolve(model, sol);  // annotates counters and presolve time
+    return sol;
+  }
+  // Reduction-ratio gate: applying presolve means rebuilding the model and
+  // perturbing the (tie-heavy) pivot path, so marginal reductions can cost
+  // more than they save.  Proceed when the model shrank meaningfully (>= 2%
+  // of rows+columns), a bound was tightened (can shrink the B&B tree out of
+  // proportion), or presolve decided everything; otherwise solve the
+  // original and charge only the scan.
+  const PresolveStats& ps = pre.stats();
+  const long scale = model.num_variables() + model.num_constraints();
+  const bool decided = ps.cols_removed == model.num_variables() &&
+                       ps.rows_removed == model.num_constraints();
+  if (!decided && ps.bounds_tightened == 0 &&
+      ps.rows_removed + ps.cols_removed < std::max<long>(4, scale / 50)) {
+    Solution sol = solve_raw(model, options, seed);
+    sol.presolve_seconds += ps.seconds;
+    sol.solve_seconds += ps.seconds;
+    return sol;
+  }
+
+  pre.build_reduced(model);
+  const Model& red = pre.reduced();
+  Solution sol;
+  if (red.num_variables() == 0 && red.num_constraints() == 0) {
+    // Empty-problem fast path: presolve decided every variable; postsolve
+    // reconstructs the full assignment from the reduction stack alone.
+    sol.status = Status::Optimal;
+    sol.has_incumbent = true;
+  } else {
+    // A seed incumbent survives presolve when it agrees with every fixing;
+    // otherwise the tree simply starts unseeded (seeding is an
+    // acceleration, never a correctness requirement).
+    Solution red_seed;
+    const Solution* sp = nullptr;
+    std::vector<double> vals;
+    if (seed != nullptr && seed->has_incumbent &&
+        pre.reduce_point(seed->values, &vals,
+                         options.feasibility_tolerance)) {
+      red_seed = Solution::incumbent_from_heuristic(red, std::move(vals));
+      sp = &red_seed;
+    }
+    sol = solve_raw(red, options, sp);
+  }
+  pre.postsolve(model, sol);
+  return sol;
 }
 
 }  // namespace ww::milp

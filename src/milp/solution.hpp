@@ -48,6 +48,13 @@ struct Solution {
   /// product-form eta columns absorbed between them.
   long refactorizations = 0;
   long eta_updates = 0;
+  /// Presolve diagnostics (zero when SolverOptions::presolve is off): how
+  /// much of the model never reached the simplex, and what the reductions
+  /// cost.  presolve_seconds is included in solve_seconds.
+  long presolve_rows_removed = 0;
+  long presolve_cols_removed = 0;
+  long presolve_nonzeros_removed = 0;
+  double presolve_seconds = 0.0;
   double best_bound = 0.0;  ///< Proven lower bound on the optimum.
   double solve_seconds = 0.0;
 
@@ -67,6 +74,12 @@ struct Solution {
   [[nodiscard]] static Solution incumbent_from_heuristic(
       const Model& model, std::vector<double> values);
 };
+
+/// Process-wide default for SolverOptions::presolve: true unless the
+/// WW_PRESOLVE environment variable says off|0|false (the ablation switch
+/// CI uses to run the whole suite down the raw solver path).  Defined in
+/// presolve.cpp.
+[[nodiscard]] bool presolve_enabled_by_default() noexcept;
 
 /// Entering-variable selection rule for the primal simplex.
 enum class Pricing {
@@ -108,6 +121,12 @@ struct SolverOptions {
   /// from this iteration onward).  0 = automatic (1000 + 20 * columns);
   /// tests set 1 to force Bland from the very first pivot.
   long bland_iterations = 0;
+  /// Run the presolve/postsolve subsystem (milp/presolve.hpp) around the
+  /// solve: singleton/redundant rows, fixed and implied-free columns, and
+  /// integer bound tightening are folded out before the simplex sees the
+  /// model, and the solution is mapped back afterwards.  Off solves the
+  /// model verbatim (ablation/equivalence testing).
+  bool presolve = presolve_enabled_by_default();
 };
 
 }  // namespace ww::milp
