@@ -27,8 +27,8 @@ void report(const char* label, const ww::dc::CampaignResult& res,
             << util::Table::fixed(solver.solve_seconds, 3)
             << " s in milp::solve)\n";
   std::cout << "  kernel: " << solver.refactorizations
-            << " LU refactorizations, " << solver.eta_updates
-            << " eta updates, " << solver.seeded_incumbents
+            << " LU refactorizations, " << solver.ft_updates
+            << " Forrest-Tomlin updates, " << solver.seeded_incumbents
             << " greedy-seeded solves\n";
   std::cout << "  presolve: " << solver.presolve_rows_removed << " rows, "
             << solver.presolve_cols_removed << " cols, "

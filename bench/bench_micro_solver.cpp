@@ -2,12 +2,15 @@
 // sizes, capacity-timeline operations, and footprint evaluation — the hot
 // paths behind the Fig. 13 overhead numbers.
 //
-// Before the benchmark loop runs, two self-checks gate the binary (exit
+// Before the benchmark loop runs, three self-checks gate the binary (exit
 // nonzero on regression, so the CI smoke run catches rot):
 //   1. warm-start: a branching-heavy corpus solved warm vs. cold must keep
 //      >= 90% of non-root nodes warm-started with identical objectives;
 //   2. presolve: every corpus family solved with presolve on vs. off must
-//      agree on status and objective, so the ablation path cannot drift.
+//      agree on status and objective, so the ablation path cannot drift;
+//   3. factor update: every corpus family solved with Forrest-Tomlin
+//      updates vs. refactorize-every-pivot must agree, so the update
+//      algebra cannot drift from the from-scratch factorization.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -136,6 +139,61 @@ void presolve_selfcheck() {
   if (!ok) std::exit(1);
 }
 
+/// Solves every corpus family with Forrest-Tomlin updates (the default
+/// kernel) and with a zero update budget (refactorize after every pivot)
+/// and verifies the answers agree; exits nonzero on divergence so the
+/// update algebra cannot drift from fresh factorizations unnoticed.
+/// Mirrors the presolve self-check, including the vacuousness guard.
+void factor_update_selfcheck() {
+  struct Case {
+    const char* name;
+    milp::Model model;
+  };
+  const Case corpus[] = {
+      {"shaped-64x5", milp::waterwise_shaped_model(64, 5)},
+      {"hard-chunk-200x5", milp::hard_chunk_model(200, 5, 0.4)},
+      {"soft-chunk-100x5", milp::soft_chunk_model(100, 5)},
+      {"weak-relax-16x3", milp::weak_relaxation_model(16, 3, 7.0)},
+  };
+  bool ok = true;
+  long ft_total = 0;
+  long refactor_total = 0;
+  for (const Case& c : corpus) {
+    milp::SolverOptions ft_opts;  // update_budget defaults to the FT path
+    milp::SolverOptions every_opts;
+    every_opts.update_budget = 0;
+    const milp::Solution ft = milp::solve(c.model, ft_opts);
+    const milp::Solution every = milp::solve(c.model, every_opts);
+    if (ft.status != every.status ||
+        std::abs(ft.objective - every.objective) > 1e-7 ||
+        c.model.max_violation(ft.values) > 1e-6) {
+      std::fprintf(stderr,
+                   "factor-update self-check FAILED (%s): ft %s %.9f "
+                   "(viol %.2e) vs refactorize-every-pivot %s %.9f\n",
+                   c.name, milp::to_string(ft.status).c_str(), ft.objective,
+                   c.model.max_violation(ft.values),
+                   milp::to_string(every.status).c_str(), every.objective);
+      ok = false;
+      continue;
+    }
+    ft_total += ft.ft_updates;
+    refactor_total += every.refactorizations;
+  }
+  if (ft_total == 0 && !milp::refactor_every_pivot_forced()) {
+    // A corpus that never absorbs an update would make this check vacuous
+    // (under WW_REFACTOR_EVERY_PIVOT both sides legitimately refactorize).
+    std::fprintf(stderr,
+                 "factor-update self-check FAILED: corpus absorbed no "
+                 "Forrest-Tomlin updates, update path unexercised\n");
+    ok = false;
+  }
+  std::printf(
+      "factor-update self-check: ft == refactorize-every-pivot across the "
+      "corpus (%ld updates vs %ld refactorizations)\n",
+      ft_total, refactor_total);
+  if (!ok) std::exit(1);
+}
+
 void solve_with_counters(benchmark::State& state, const milp::Model& model,
                          const milp::SolverOptions& opts) {
   long nodes = 0;
@@ -144,6 +202,8 @@ void solve_with_counters(benchmark::State& state, const milp::Model& model,
   long iters = 0;
   long pre_rows = 0;
   long pre_cols = 0;
+  long ft_updates = 0;
+  long refactor = 0;
   for (auto _ : state) {
     const milp::Solution sol = milp::solve(model, opts);
     benchmark::DoNotOptimize(sol.objective);
@@ -154,6 +214,8 @@ void solve_with_counters(benchmark::State& state, const milp::Model& model,
     iters += sol.simplex_iterations;
     pre_rows += sol.presolve_rows_removed;
     pre_cols += sol.presolve_cols_removed;
+    ft_updates += sol.ft_updates;
+    refactor += sol.refactorizations;
   }
   state.counters["nodes"] =
       benchmark::Counter(static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
@@ -167,6 +229,10 @@ void solve_with_counters(benchmark::State& state, const milp::Model& model,
       benchmark::Counter(static_cast<double>(pre_rows), benchmark::Counter::kAvgIterations);
   state.counters["pre_cols"] =
       benchmark::Counter(static_cast<double>(pre_cols), benchmark::Counter::kAvgIterations);
+  state.counters["ft_updates"] =
+      benchmark::Counter(static_cast<double>(ft_updates), benchmark::Counter::kAvgIterations);
+  state.counters["refactor"] =
+      benchmark::Counter(static_cast<double>(refactor), benchmark::Counter::kAvgIterations);
 }
 
 void BM_MilpSolveBatch(benchmark::State& state) {
@@ -227,6 +293,28 @@ void BM_MilpSolveSoftChunk(benchmark::State& state) {
 BENCHMARK(BM_MilpSolveSoftChunk)
     ->Args({400, 10, 1})->Args({400, 10, 0})
     ->Unit(benchmark::kMillisecond);
+
+void BM_MilpLongPivotRun(benchmark::State& state) {
+  // The flatness witness for the Forrest-Tomlin kernel: the 810-row hard
+  // chunk solved raw (presolve off so the pivot run is long) with the
+  // default update budget vs. a single factorization carrying the whole
+  // ~2000-pivot run.  Under the product-form eta file this replaced, the
+  // unbounded case ground to a halt as every ftran/btran dragged the whole
+  // eta file; with in-place updates the two times should be comparable —
+  // the ft_updates counter shows the run length.
+  const milp::Model model = milp::hard_chunk_model(400, 10, 0.4);
+  milp::SolverOptions opts;
+  opts.presolve = false;
+  if (state.range(0) == 0) {
+    opts.update_budget = 1 << 20;
+    opts.refactor_interval = 1 << 20;
+    opts.fill_growth_limit = 1e9;
+  }
+  solve_with_counters(state, model, opts);
+  state.SetLabel(state.range(0) == 0 ? "one factorization, unbounded updates"
+                                     : "default budget/fill triggers");
+}
+BENCHMARK(BM_MilpLongPivotRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_MilpPricingRule(benchmark::State& state) {
   // Devex-vs-Dantzig iteration/latency trade at a mid scheduler scale.
@@ -302,6 +390,7 @@ BENCHMARK(BM_EnvironmentQuery);
 int main(int argc, char** argv) {
   warm_start_selfcheck();
   presolve_selfcheck();
+  factor_update_selfcheck();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -272,7 +272,7 @@ milp::Solution WaterWiseScheduler::run_model(
   stats_.warm_started_nodes += sol.warm_started_nodes;
   stats_.phase1_nodes += sol.phase1_nodes;
   stats_.refactorizations += sol.refactorizations;
-  stats_.eta_updates += sol.eta_updates;
+  stats_.ft_updates += sol.ft_updates;
   stats_.presolve_rows_removed += sol.presolve_rows_removed;
   stats_.presolve_cols_removed += sol.presolve_cols_removed;
   stats_.presolve_nonzeros_removed += sol.presolve_nonzeros_removed;

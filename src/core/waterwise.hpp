@@ -69,7 +69,7 @@ struct SchedulerStats {
   long warm_started_nodes = 0;   ///< Nodes re-solved from a parent basis.
   long phase1_nodes = 0;         ///< Nodes that needed phase-1 artificials.
   long refactorizations = 0;     ///< Sparse-kernel LU factorizations.
-  long eta_updates = 0;          ///< Product-form basis updates absorbed.
+  long ft_updates = 0;           ///< Forrest-Tomlin basis updates absorbed.
   /// Solves handed a greedy seed candidate (the solver re-validates the
   /// seed against bounds/rows/integrality before adopting it).
   long seeded_incumbents = 0;

@@ -12,12 +12,20 @@ constexpr double kSingularTol = 1e-11;
 /// Threshold pivoting: any candidate within this factor of the largest
 /// magnitude may be chosen for sparsity instead.
 constexpr double kPivotThreshold = 0.1;
+/// Forrest-Tomlin stability: the updated diagonal must not vanish relative
+/// to the spike that produced it, or the updated U is numerically singular
+/// even when the absolute value clears kSingularTol.
+constexpr double kFtRelTol = 1e-10;
 }  // namespace
 
 bool BasisLU::factorize(int m, const std::vector<SparseVec>& cols,
                         const std::vector<int>& basis) {
   m_ = m;
-  etas_.clear();
+  updates_.clear();
+  eta_pool_steps_.clear();
+  eta_pool_vals_.clear();
+  update_count_ = 0;
+  eta_nnz_ = 0;
   const auto mu = static_cast<std::size_t>(m);
   l_rows_.assign(mu, {});
   l_vals_.assign(mu, {});
@@ -168,24 +176,103 @@ bool BasisLU::factorize(int m, const std::vector<SparseVec>& cols,
                    static_cast<long>(l_rows_[ku].size());
   }
   std::fill(work_.begin(), work_.end(), 0.0);
+
+  // Update bookkeeping: the elimination order starts as 0..m-1 and is
+  // permuted by Forrest-Tomlin updates (contiguous erase + suffix rank
+  // rebuild; see the header note on why not a linked list); qinv_ maps
+  // basis positions back to their eliminating step so update() can locate
+  // the spiked column.
+  order_.resize(mu);
+  std::iota(order_.begin(), order_.end(), 0);
+  rank_ = order_;
+  qinv_.assign(mu, 0);
+  for (int k = 0; k < m; ++k)
+    qinv_[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] = k;
+  fresh_nnz_ = factor_nnz_;
+  // Capacity-preserving reset: destroying and regrowing a few thousand
+  // little vectors every refactorization costs more in allocator traffic
+  // (and cache pollution for the rest of the solver) than the lists hold.
+  if (row_cols_.size() < mu) row_cols_.resize(mu);
+  for (std::size_t k = 0; k < mu; ++k) row_cols_[k].clear();
+  for (std::size_t k = 0; k < mu; ++k)
+    for (const int s : u_steps_[k])
+      row_cols_[static_cast<std::size_t>(s)].push_back(static_cast<int>(k));
+  spike_.assign(mu, 0.0);
+  spike_mark_.assign(mu, 0);
+  spike_idx_.clear();
+  spike_valid_ = false;
+  mu_.assign(mu, 0.0);
+  mu_mark_.assign(mu, 0);
+  col_mark_.assign(mu, 0);
   return true;
 }
 
-void BasisLU::ftran(std::vector<double>& x) const {
+void BasisLU::ftran(std::vector<double>& x, bool save_spike) const {
   const auto mu = static_cast<std::size_t>(m_);
-  // Lower solve in elimination order; x stays row-indexed, with the value
-  // at pivot row p_[k] holding intermediate z_k.
-  for (std::size_t k = 0; k < mu; ++k) {
-    const double z = x[static_cast<std::size_t>(p_[k])];
-    if (z == 0.0) continue;
-    const auto& lr = l_rows_[k];
-    const auto& lv = l_vals_[k];
-    for (std::size_t t = 0; t < lr.size(); ++t)
-      x[static_cast<std::size_t>(lr[t])] -= lv[t] * z;
+  if (save_spike) {
+    for (const int k : spike_idx_) {
+      spike_[static_cast<std::size_t>(k)] = 0.0;
+      spike_mark_[static_cast<std::size_t>(k)] = 0;
+    }
+    spike_idx_.clear();
   }
-  // Upper back-substitution into step space, then scatter to positions.
+  // Lower solve in elimination order; x stays row-indexed, with the value
+  // at pivot row p_[k] holding intermediate z_k.  L is never modified by
+  // updates, so the original 0..m-1 order remains topologically valid.
+  // Once step k is read, no later step writes its slot, so under
+  // save_spike the z in hand *is* the Forrest-Tomlin spike entry — saving
+  // it here (plus the row-eta patches below) costs no extra pass at all.
+  // The loop is duplicated so the plain path stays branch-free.
+  if (!save_spike) {
+    for (std::size_t k = 0; k < mu; ++k) {
+      const double z = x[static_cast<std::size_t>(p_[k])];
+      if (z == 0.0) continue;
+      const auto& lr = l_rows_[k];
+      const auto& lv = l_vals_[k];
+      for (std::size_t t = 0; t < lr.size(); ++t)
+        x[static_cast<std::size_t>(lr[t])] -= lv[t] * z;
+    }
+  } else {
+    for (std::size_t k = 0; k < mu; ++k) {
+      const double z = x[static_cast<std::size_t>(p_[k])];
+      if (z == 0.0) continue;
+      spike_[k] = z;
+      spike_mark_[k] = 1;
+      spike_idx_.push_back(static_cast<int>(k));
+      const auto& lr = l_rows_[k];
+      const auto& lv = l_vals_[k];
+      for (std::size_t t = 0; t < lr.size(); ++t)
+        x[static_cast<std::size_t>(lr[t])] -= lv[t] * z;
+    }
+  }
+  // Forrest-Tomlin row etas, oldest first: E z subtracts mu . z from the
+  // spiked step's slot.  Steps address the row-indexed intermediate via
+  // their pivot rows.
+  for (const RowEta& e : updates_) {
+    double acc = 0.0;
+    for (int t = e.begin; t < e.end; ++t)
+      acc += eta_pool_vals_[static_cast<std::size_t>(t)] *
+             x[static_cast<std::size_t>(p_[static_cast<std::size_t>(
+                 eta_pool_steps_[static_cast<std::size_t>(t)])])];
+    const auto slot = static_cast<std::size_t>(
+        p_[static_cast<std::size_t>(e.step)]);
+    x[slot] -= acc;
+    if (save_spike) {
+      const auto eu = static_cast<std::size_t>(e.step);
+      spike_[eu] = x[slot];
+      if (spike_mark_[eu] == 0) {
+        spike_mark_[eu] = 1;
+        spike_idx_.push_back(e.step);
+      }
+    }
+  }
+  if (save_spike) spike_valid_ = true;
+  // Upper back-substitution in reverse elimination order (the step list,
+  // not 0..m-1: updates move spiked steps to the end), then scatter to
+  // positions.
   std::vector<double>& y = work_;
-  for (std::size_t k = mu; k-- > 0;) {
+  for (std::size_t oi = mu; oi-- > 0;) {
+    const auto k = static_cast<std::size_t>(order_[oi]);
     const double z = x[static_cast<std::size_t>(p_[k])];
     if (z == 0.0) {
       y[k] = 0.0;
@@ -201,41 +288,35 @@ void BasisLU::ftran(std::vector<double>& x) const {
   }
   for (std::size_t k = 0; k < mu; ++k)
     x[static_cast<std::size_t>(q_[k])] = y[k];
-
-  // Product-form etas, oldest first.
-  for (const Eta& e : etas_) {
-    const auto pos = static_cast<std::size_t>(e.pos);
-    const double xp = x[pos];
-    if (xp == 0.0) continue;
-    const double scaled = xp / e.pivot;
-    x[pos] = scaled;
-    for (std::size_t t = 0; t < e.idx.size(); ++t)
-      x[static_cast<std::size_t>(e.idx[t])] -= e.val[t] * scaled;
-  }
 }
 
 void BasisLU::btran(std::vector<double>& x) const {
   const auto mu = static_cast<std::size_t>(m_);
-  // Transposed etas, newest first.
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    const Eta& e = *it;
-    double acc = x[static_cast<std::size_t>(e.pos)];
-    for (std::size_t t = 0; t < e.idx.size(); ++t)
-      acc -= e.val[t] * x[static_cast<std::size_t>(e.idx[t])];
-    x[static_cast<std::size_t>(e.pos)] = acc / e.pivot;
-  }
-
-  // U^T forward solve: row k of U^T is column k of U.
+  // U^T forward solve in elimination order: row k of U^T is column k of U,
+  // and every stored entry references a step earlier in the order.
   std::vector<double>& t_ = work_;
   for (std::size_t k = 0; k < mu; ++k)
     t_[k] = x[static_cast<std::size_t>(q_[k])];
-  for (std::size_t k = 0; k < mu; ++k) {
+  for (std::size_t oi = 0; oi < mu; ++oi) {
+    const auto k = static_cast<std::size_t>(order_[oi]);
     double acc = t_[k];
     const auto& us = u_steps_[k];
     const auto& uv = u_vals_[k];
     for (std::size_t t = 0; t < us.size(); ++t)
       acc -= uv[t] * t_[static_cast<std::size_t>(us[t])];
     t_[k] = acc / diag_[k];
+  }
+  // Transposed row etas, newest first: E^T z subtracts z_step * mu from the
+  // support slots.
+  for (auto it = updates_.rbegin(); it != updates_.rend(); ++it) {
+    const RowEta& e = *it;
+    const double zt = t_[static_cast<std::size_t>(e.step)];
+    if (zt == 0.0) continue;
+    for (int t = e.begin; t < e.end; ++t) {
+      const auto tt = static_cast<std::size_t>(t);
+      t_[static_cast<std::size_t>(eta_pool_steps_[tt])] -=
+          eta_pool_vals_[tt] * zt;
+    }
   }
   // L^T backward solve: L column k lives in rows pivotal at later steps.
   for (std::size_t k = mu; k-- > 0;) {
@@ -253,19 +334,138 @@ void BasisLU::btran(std::vector<double>& x) const {
     x[static_cast<std::size_t>(p_[k])] = t_[k];
 }
 
-bool BasisLU::update(const std::vector<double>& w, int pos) {
-  const auto pu = static_cast<std::size_t>(pos);
-  const double pivot = w[pu];
-  if (std::abs(pivot) < kSingularTol) return false;
-  Eta e;
-  e.pos = pos;
-  e.pivot = pivot;
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    if (i == pu || w[i] == 0.0) continue;
-    e.idx.push_back(static_cast<int>(i));
-    e.val.push_back(w[i]);
+bool BasisLU::update(int pos) {
+  if (!spike_valid_) return false;
+  spike_valid_ = false;  // the spike is consumed whether or not we commit
+  const int t = qinv_[static_cast<std::size_t>(pos)];
+  const auto tu = static_cast<std::size_t>(t);
+
+  // --- row elimination: with step t cycled to the end of the order, the
+  // old row t of U sits below the diagonal and is eliminated against the
+  // trailing columns.  The multipliers solve U_tail^T mu = (row t of U)^T,
+  // a sparse forward solve over the reach set of row t: the worklist seeds
+  // with the columns carrying a row-t entry (row_cols_[t]) and grows by
+  // the rows of every step whose multiplier comes out nonzero, popped in
+  // elimination-rank order (a valid topological order, since a column is
+  // always ranked after the steps of its entries).  Stale row-index
+  // entries cost one wasted column scan and nothing else.
+  eta_steps_.clear();
+  eta_vals_.clear();
+  row_hits_.clear();
+  heap_.clear();
+  processed_.clear();
+  const auto rank_after = [this](int a, int b) {
+    return rank_[static_cast<std::size_t>(a)] >
+           rank_[static_cast<std::size_t>(b)];
+  };
+  for (const int j : row_cols_[tu]) {
+    if (col_mark_[static_cast<std::size_t>(j)] != 0) continue;
+    col_mark_[static_cast<std::size_t>(j)] = 1;
+    heap_.push_back(j);
+    std::push_heap(heap_.begin(), heap_.end(), rank_after);
   }
-  etas_.push_back(std::move(e));
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), rank_after);
+    const int j = heap_.back();
+    heap_.pop_back();
+    processed_.push_back(j);
+    const auto ju = static_cast<std::size_t>(j);
+    double wrow = 0.0;
+    int hit = -1;
+    double acc = 0.0;
+    const auto& us = u_steps_[ju];
+    const auto& uv = u_vals_[ju];
+    for (std::size_t e = 0; e < us.size(); ++e) {
+      const int s = us[e];
+      if (s == t) {
+        wrow = uv[e];
+        hit = static_cast<int>(e);
+      } else if (mu_mark_[static_cast<std::size_t>(s)] != 0) {
+        acc += uv[e] * mu_[static_cast<std::size_t>(s)];
+      }
+    }
+    if (hit >= 0) row_hits_.emplace_back(j, hit);
+    const double muj = (wrow - acc) / diag_[ju];
+    if (muj == 0.0) continue;
+    mu_[ju] = muj;
+    mu_mark_[ju] = 1;
+    eta_steps_.push_back(j);
+    eta_vals_.push_back(muj);
+    for (const int jj : row_cols_[ju]) {
+      if (col_mark_[static_cast<std::size_t>(jj)] != 0) continue;
+      col_mark_[static_cast<std::size_t>(jj)] = 1;
+      heap_.push_back(jj);
+      std::push_heap(heap_.begin(), heap_.end(), rank_after);
+    }
+  }
+  for (const int j : processed_) col_mark_[static_cast<std::size_t>(j)] = 0;
+
+  // --- stability test, before any mutation: the new diagonal must clear
+  // the absolute singularity threshold and must not vanish relative to the
+  // spike feeding it.  (d_new = w[pos] * d_old in exact arithmetic, so this
+  // subsumes the classic tiny-update-pivot check while also catching
+  // cancellation the identity hides.)
+  double d_new = spike_[tu];
+  for (std::size_t e = 0; e < eta_steps_.size(); ++e)
+    d_new -= eta_vals_[e] * spike_[static_cast<std::size_t>(eta_steps_[e])];
+  double smax = 0.0;
+  for (const int k : spike_idx_)
+    smax = std::max(smax, std::abs(spike_[static_cast<std::size_t>(k)]));
+  const bool stable =
+      std::abs(d_new) >= kSingularTol && std::abs(d_new) >= kFtRelTol * smax;
+
+  for (const int s : eta_steps_) {
+    mu_[static_cast<std::size_t>(s)] = 0.0;
+    mu_mark_[static_cast<std::size_t>(s)] = 0;
+  }
+  if (!stable) return false;  // factors untouched; caller refactorizes
+
+  // --- commit: delete the eliminated row's entries, overwrite the spiked
+  // column, move its step to the end of the order, and file the row eta.
+  for (const auto& [j, e] : row_hits_) {
+    auto& us = u_steps_[static_cast<std::size_t>(j)];
+    auto& uv = u_vals_[static_cast<std::size_t>(j)];
+    const auto eu = static_cast<std::size_t>(e);
+    us[eu] = us.back();
+    uv[eu] = uv.back();
+    us.pop_back();
+    uv.pop_back();
+    --factor_nnz_;
+  }
+  row_cols_[tu].clear();  // row t is now empty (stale entries included)
+  factor_nnz_ -= 1 + static_cast<long>(u_steps_[tu].size());
+  u_steps_[tu].clear();
+  u_vals_[tu].clear();
+  for (const int k : spike_idx_) {
+    const auto ku = static_cast<std::size_t>(k);
+    if (k == t || spike_[ku] == 0.0) continue;
+    u_steps_[tu].push_back(k);
+    u_vals_[tu].push_back(spike_[ku]);
+    row_cols_[ku].push_back(t);
+  }
+  diag_[tu] = d_new;
+  factor_nnz_ += 1 + static_cast<long>(u_steps_[tu].size());
+
+  // Move step t to the end of the elimination order (contiguous shift +
+  // suffix rank rebuild; see the header note on why not a linked list).
+  const auto mu_sz = static_cast<std::size_t>(m_);
+  const auto rt = static_cast<std::size_t>(rank_[tu]);
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(rt));
+  order_.push_back(t);
+  for (std::size_t oi = rt; oi < mu_sz; ++oi)
+    rank_[static_cast<std::size_t>(order_[oi])] = static_cast<int>(oi);
+
+  if (!eta_steps_.empty()) {
+    eta_nnz_ += static_cast<long>(eta_steps_.size());
+    const int begin = static_cast<int>(eta_pool_steps_.size());
+    eta_pool_steps_.insert(eta_pool_steps_.end(), eta_steps_.begin(),
+                           eta_steps_.end());
+    eta_pool_vals_.insert(eta_pool_vals_.end(), eta_vals_.begin(),
+                          eta_vals_.end());
+    updates_.push_back(
+        RowEta{t, begin, static_cast<int>(eta_pool_steps_.size())});
+  }
+  ++update_count_;
   return true;
 }
 

@@ -1,4 +1,4 @@
-// Sparse LU factorization of a simplex basis with eta-file updates.
+// Sparse LU factorization of a simplex basis with Forrest-Tomlin updates.
 //
 // The basis matrix B maps basis positions to rows: column i of B is the
 // constraint-matrix column of the variable basic in position i.  BasisLU
@@ -7,14 +7,36 @@
 // pattern that finds exactly the elimination steps whose multiplier can be
 // structurally nonzero, so each column costs O(|reach| + pattern edges)
 // instead of probing all prior pivots (Theta(m^2) per refactorization) —
-// with a Markowitz-biased static column order
-// (ascending nonzero count, so logical/slack singletons peel off
-// fill-free) and threshold row pivoting that prefers sparse rows among
-// numerically acceptable candidates.  Between
-// refactorizations, basis changes are absorbed as product-form eta columns:
-// replacing the column in position r by a new column a with w = B^-1 a
-// appends the elementary matrix E(r, w), so B_new^-1 = E^-1 B^-1 and both
-// triangular factors stay untouched.
+// with a Markowitz-biased static column order (ascending nonzero count, so
+// logical/slack singletons peel off fill-free) and threshold row pivoting
+// that prefers sparse rows among numerically acceptable candidates.
+//
+// Update algebra (Forrest & Tomlin 1972).  Replacing the column in basis
+// position r rewrites one column of U with the spike s = E_k...E_1 L^-1 a
+// (the entering column's partial transform).  Cyclically permuting the
+// spiked step to the end of the elimination order leaves a matrix that is
+// upper triangular except for its last row — the old row of U — which is
+// eliminated against the trailing diagonal by one sparse transposed solve.
+// The multipliers form a *row eta* E = I - e_t mu^T stored between L and U,
+// so the factorization evolves as
+//   B = L  E_1^-1 E_2^-1 ... E_k^-1  U
+// with U modified *in place*: the spiked column is overwritten, the
+// eliminated row's entries are deleted, and the new diagonal becomes
+// d_new = s_t - mu . s (= w_r * d_old by the determinant identity, so a
+// vanishing d_new is exactly a vanishing update pivot).  Unlike the
+// product-form eta file this kernel replaced, ftran/btran stay
+// O(nnz(L) + nnz(U) + nnz(row etas)) — flat over arbitrarily long pivot
+// runs, because each update costs one row eta instead of one full eta
+// column applied to every subsequent solve.
+//
+// Refactorization is triggered by the caller from two monitors exposed
+// here rather than a fixed update cap: update_count() (the budget) and
+// fill_ratio() (current factor + row-eta nonzeros over the freshly
+// factorized count — update fill degrades both speed and accuracy).
+// update() itself is transactional: when the new diagonal fails the
+// stability test (absolutely tiny, or vanishing relative to the spike) it
+// returns false *without touching the factors*, so the caller can simply
+// refactorize and carry on.
 //
 // ftran solves B x = a (entering-column transformation); btran solves
 // B^T y = c (dual/pivot-row transformation).  Both exploit sparsity by
@@ -22,6 +44,7 @@
 // dense kernel's O(m^2) matrix-vector products.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 namespace ww::milp {
@@ -36,45 +59,66 @@ struct SparseVec {
 class BasisLU {
  public:
   /// Factorizes the basis given by `basis` (column index per position) over
-  /// the column pool `cols`.  Discards any eta file.  Returns false when the
-  /// basis is numerically singular (no acceptable pivot in some column), in
-  /// which case the factorization must not be used.
+  /// the column pool `cols`.  Discards any pending updates.  Returns false
+  /// when the basis is numerically singular (no acceptable pivot in some
+  /// column), in which case the factorization must not be used.
   bool factorize(int m, const std::vector<SparseVec>& cols,
                  const std::vector<int>& basis);
 
   /// Solves B x = a in place: `x` enters as the dense right-hand side
   /// indexed by row and leaves as the solution indexed by basis position.
-  void ftran(std::vector<double>& x) const;
+  /// With `save_spike`, the partial transform (after L and the row etas,
+  /// before U) is additionally saved as the spike a subsequent update()
+  /// consumes — the solver sets it when transforming the entering column,
+  /// which makes the update's spike free instead of a U multiply.
+  void ftran(std::vector<double>& x, bool save_spike = false) const;
 
   /// Solves B^T y = c in place: `x` enters as the dense right-hand side
   /// indexed by basis position and leaves as the solution indexed by row.
   void btran(std::vector<double>& x) const;
 
-  /// Absorbs the replacement of the column in position `pos` by a column
-  /// whose ftran image is `w` (position-indexed, w = B^-1 a_entering).
-  /// Returns false when the pivot |w[pos]| is below the stability threshold;
-  /// the caller must refactorize instead.
-  bool update(const std::vector<double>& w, int pos);
+  /// Absorbs the replacement of the column in position `pos` by the
+  /// entering column whose spike the most recent ftran(x, true) saved, as
+  /// a Forrest-Tomlin update of U.  Returns false — leaving the factors
+  /// untouched — when no saved spike is pending or the updated diagonal
+  /// fails the stability test; the caller must refactorize instead.
+  bool update(int pos);
 
   [[nodiscard]] int dimension() const noexcept { return m_; }
-  [[nodiscard]] int eta_count() const noexcept {
-    return static_cast<int>(etas_.size());
-  }
-  /// Nonzeros in L + U (diagnostic; excludes etas).
+  /// Forrest-Tomlin updates absorbed since the last factorize().
+  [[nodiscard]] int update_count() const noexcept { return update_count_; }
+  /// Nonzeros in L + U as currently updated (spikes included, row etas
+  /// excluded; diagnostic).
   [[nodiscard]] long factor_nonzeros() const noexcept { return factor_nnz_; }
+  /// Fill monitor: (current L + U + row-eta nonzeros) over the nonzero
+  /// count of the last fresh factorization.  1.0 right after factorize();
+  /// grows as update spikes and row etas accumulate fill.
+  [[nodiscard]] double fill_ratio() const noexcept {
+    return fresh_nnz_ > 0 ? static_cast<double>(factor_nnz_ + eta_nnz_) /
+                                static_cast<double>(fresh_nnz_)
+                          : 1.0;
+  }
 
  private:
-  struct Eta {
-    int pos;                  ///< Replaced basis position.
-    double pivot;             ///< w[pos].
-    std::vector<int> idx;     ///< Off-pivot positions with nonzero w.
-    std::vector<double> val;  ///< Matching w values.
+  /// One Forrest-Tomlin row elimination: step `step` was spiked and moved
+  /// to the end of the elimination order; [begin, end) indexes the shared
+  /// entry pools holding the multipliers mu of E = I - e_step mu^T over
+  /// the steps it was eliminated against.  Pooled storage keeps the
+  /// per-solve eta sweep contiguous instead of chasing one heap block per
+  /// update.
+  struct RowEta {
+    int step;
+    int begin;
+    int end;
   };
 
   int m_ = 0;
   // Factors of P B Q = L U, stored column-wise per elimination step k:
   // L columns hold (original row, multiplier) below the pivot; U columns
   // hold (earlier step, value) above the diagonal, diagonal kept apart.
+  // After updates the elimination order of U's steps is order_ (a
+  // permutation of 0..m-1; rank_ is its inverse), while L keeps the
+  // original 0..m-1 order — Forrest-Tomlin never touches L.
   std::vector<std::vector<int>> l_rows_;
   std::vector<std::vector<double>> l_vals_;
   std::vector<std::vector<int>> u_steps_;
@@ -83,10 +127,47 @@ class BasisLU {
   std::vector<int> p_;      ///< p_[k]: original row pivotal at step k.
   std::vector<int> pinv_;   ///< pinv_[row]: step at which `row` was pivotal.
   std::vector<int> q_;      ///< q_[k]: basis position eliminated at step k.
-  std::vector<Eta> etas_;   ///< Product-form updates since factorize().
-  long factor_nnz_ = 0;
+  std::vector<int> qinv_;   ///< qinv_[pos]: step eliminating position pos.
+  // Elimination order of U's steps: updates move their spiked step to the
+  // end.  Kept contiguous (one erase + suffix rank rebuild per update, a
+  // few microseconds) because ftran/btran traverse it every solve and a
+  // linked list's dependent loads measurably serialize those hot loops.
+  std::vector<int> order_;  ///< Steps in elimination order.
+  std::vector<int> rank_;   ///< rank_[step]: its index in order_.
+  std::vector<RowEta> updates_;  ///< Row etas since factorize(), oldest first.
+  std::vector<int> eta_pool_steps_;     ///< Pooled row-eta support steps.
+  std::vector<double> eta_pool_vals_;   ///< Pooled row-eta multipliers.
+  int update_count_ = 0;
+  long factor_nnz_ = 0;  ///< Current L + U nonzeros (updated in place).
+  long fresh_nnz_ = 0;   ///< L + U nonzeros right after factorize().
+  long eta_nnz_ = 0;     ///< Row-eta nonzeros accumulated by updates.
+
+  /// Lazy row-wise index of U: row_cols_[step] lists the steps of columns
+  /// that have (or once had) an entry in that row.  Appended on insertion,
+  /// never pruned on column rewrites — a listed column that no longer
+  /// carries the entry is detected (and skipped) by the scan that would
+  /// have used it.  This is what makes the update's row elimination a
+  /// sparse reach-set solve instead of a scan of every trailing column.
+  std::vector<std::vector<int>> row_cols_;
 
   mutable std::vector<double> work_;  ///< Step-indexed scratch for solves.
+  // Spike saved by ftran(x, true): the entering column after L and the row
+  // etas, step-indexed dense values plus the nonzero list (so update()
+  // touches O(nnz(spike)) instead of O(m)); consumed by the next update().
+  mutable std::vector<double> spike_;
+  mutable std::vector<int> spike_idx_;
+  mutable std::vector<unsigned char> spike_mark_;
+  mutable bool spike_valid_ = false;
+  // update() scratch: the mu workspace of the row elimination, the
+  // rank-ordered column worklist, and the located row-t entries.
+  std::vector<double> mu_;
+  std::vector<unsigned char> mu_mark_;
+  std::vector<unsigned char> col_mark_;
+  std::vector<int> heap_;
+  std::vector<int> processed_;
+  std::vector<int> eta_steps_;
+  std::vector<double> eta_vals_;
+  std::vector<std::pair<int, int>> row_hits_;
 };
 
 }  // namespace ww::milp

@@ -130,7 +130,7 @@ Solution BranchAndBound::solve(const Solution* seed) {
   long warm_nodes = 0;
   long phase1_nodes = 0;
   long total_refactor = 0;
-  long total_eta = 0;
+  long total_updates = 0;
   long next_seq = 0;
   bool limits_hit = false;        ///< Node/time budget exhausted.
   bool subtree_dropped = false;   ///< A node LP hit its iteration limit.
@@ -226,7 +226,7 @@ Solution BranchAndBound::solve(const Solution* seed) {
     warm_nodes += relax.warm_started_nodes;
     phase1_nodes += relax.phase1_nodes;
     total_refactor += relax.refactorizations;
-    total_eta += relax.eta_updates;
+    total_updates += relax.ft_updates;
     if (relax.status == Status::Infeasible) continue;
     if (relax.status == Status::Unbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded or
@@ -239,7 +239,7 @@ Solution BranchAndBound::solve(const Solution* seed) {
       sol.warm_started_nodes = warm_nodes;
       sol.phase1_nodes = phase1_nodes;
       sol.refactorizations = total_refactor;
-      sol.eta_updates = total_eta;
+      sol.ft_updates = total_updates;
       sol.solve_seconds = watch.elapsed_seconds();
       return sol;
     }
@@ -372,7 +372,7 @@ Solution BranchAndBound::solve(const Solution* seed) {
   best.warm_started_nodes = warm_nodes;
   best.phase1_nodes = phase1_nodes;
   best.refactorizations = total_refactor;
-  best.eta_updates = total_eta;
+  best.ft_updates = total_updates;
   best.solve_seconds = watch.elapsed_seconds();
   if (limits_hit || subtree_dropped) {
     // NodeLimit when the tree budget stopped us; IterationLimit when the

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/timer.hpp"
@@ -13,12 +15,32 @@ namespace ww::milp {
 namespace {
 constexpr double kInf = kInfinity;
 /// Pivot elements below this trigger a defensive refactorization instead of
-/// an eta update (matching BasisLU's own singularity threshold).
+/// a Forrest-Tomlin update (matching BasisLU's own singularity threshold).
 constexpr double kTinyPivot = 1e-11;
 }  // namespace
 
+bool refactor_every_pivot_forced() noexcept {
+  // WW_REFACTOR_EVERY_PIVOT=on|1|true drops the Forrest-Tomlin update
+  // budget to zero process-wide: every pivot refactorizes, the
+  // slow-but-simple ablation path CI cross-checks the update against.
+  static const bool forced = [] {
+    const char* v = std::getenv("WW_REFACTOR_EVERY_PIVOT");
+    if (v == nullptr) return false;
+    const std::string s(v);
+    return s == "1" || s == "on" || s == "ON" || s == "true";
+  }();
+  return forced;
+}
+
 SimplexSolver::SimplexSolver(const Model& model, SolverOptions options)
     : options_(options) {
+  // The deprecated eta_limit alias overrides update_budget when set, so
+  // pre-Forrest-Tomlin callers keep their refactorization cadence; the
+  // process-wide ablation switch overrides both.
+  update_budget_ = refactor_every_pivot_forced()
+                       ? 0
+                       : (options_.eta_limit > 0 ? options_.eta_limit
+                                                 : options_.update_budget);
   build_standard_form(model);
 }
 
@@ -121,7 +143,7 @@ void SimplexSolver::reset_state(const std::vector<double>& lower,
   iterations_this_solve_ = 0;
   since_refactor_ = 0;
   refactorizations_this_solve_ = 0;
-  eta_updates_this_solve_ = 0;
+  ft_updates_this_solve_ = 0;
   use_bland_ = false;
 }
 
@@ -219,7 +241,9 @@ void SimplexSolver::ftran_column(const SparseColumn& col,
   out.assign(static_cast<std::size_t>(m_), 0.0);
   for (std::size_t k = 0; k < col.rows.size(); ++k)
     out[static_cast<std::size_t>(col.rows[k])] += col.values[k];
-  lu_.ftran(out);
+  // Entering columns save their partial transform as the Forrest-Tomlin
+  // spike, so the update absorbing this pivot needs no extra solve.
+  lu_.ftran(out, /*save_spike=*/true);
 }
 
 void SimplexSolver::compute_pivot_row(int pos) {
@@ -402,14 +426,19 @@ void SimplexSolver::pivot(int entering, int pos, NonbasicState leave_state) {
   basis_[pu] = entering;
   state_[eu] = NonbasicState::Basic;
 
-  // Absorb the basis change into the eta file; refactorize on a tiny pivot
-  // or when the eta file has grown past its limit.
-  if (std::abs(alpha_q) < kTinyPivot || !lu_.update(w_, pos)) {
+  // Absorb the basis change as a Forrest-Tomlin update; refactorize
+  // instead on a spent budget, a tiny pivot, or an update the stability
+  // test rejects, and afterwards when the accumulated update fill has
+  // outgrown the fresh factorization.
+  if (update_budget_ <= 0 || std::abs(alpha_q) < kTinyPivot ||
+      !lu_.update(pos)) {
     refactorize();
     return;
   }
-  ++eta_updates_this_solve_;
-  if (lu_.eta_count() >= options_.eta_limit) refactorize();
+  ++ft_updates_this_solve_;
+  if (lu_.update_count() >= update_budget_ ||
+      lu_.fill_ratio() > options_.fill_growth_limit)
+    refactorize();
 }
 
 SimplexSolver::LoopResult SimplexSolver::run_simplex([[maybe_unused]] bool phase1) {
@@ -709,7 +738,7 @@ Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
   const auto fill_counters = [&](Solution& s) {
     s.simplex_iterations = iterations_this_solve_;
     s.refactorizations = refactorizations_this_solve_;
-    s.eta_updates = eta_updates_this_solve_;
+    s.ft_updates = ft_updates_this_solve_;
   };
 
   // ---- Warm start: replay a snapshotted basis under the new bounds ---------

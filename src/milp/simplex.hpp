@@ -8,10 +8,13 @@
 // artificials fixed at zero.
 //
 // The basis is held as a sparse LU factorization (see basis_lu.hpp) with
-// product-form eta updates between refactorizations, so FTRAN/BTRAN cost
-// O(nnz) instead of the dense O(m^2) of the previous kernel.  Reduced costs
-// are maintained incrementally from the pivot row and recomputed exactly at
-// every refactorization.  Pricing is Devex (reference-framework weights,
+// Forrest-Tomlin updates between refactorizations, so FTRAN/BTRAN cost
+// O(nnz) — flat over long pivot runs — instead of the dense O(m^2) of the
+// previous kernel.  Refactorization is triggered by the update budget, the
+// fill monitor (BasisLU::fill_ratio), the iteration-cadence backstop, or an
+// update the stability test rejects.  Reduced costs are maintained
+// incrementally from the pivot row and recomputed exactly at every
+// refactorization.  Pricing is Devex (reference-framework weights,
 // reset on refactorization) over a candidate list, with Dantzig available
 // as an option and an automatic switch to Bland's rule for termination on
 // degenerate instances.  The primal and dual loops share the pivot-row
@@ -87,8 +90,11 @@ class SimplexSolver {
   void refactorize();
   void recompute_basic_values();
   void recompute_reduced_costs();
-  /// Scatters `col` and ftrans it through the LU+etas into `out`
-  /// (position-indexed pivot column).
+  /// Scatters `col` and ftrans it through the updated LU into `out`
+  /// (position-indexed pivot column).  Also saves the column's partial
+  /// transform as the pending Forrest-Tomlin spike, which the next
+  /// lu_.update() in pivot() consumes — callers must not interleave
+  /// another spike-saving ftran between this and the pivot it feeds.
   void ftran_column(const SparseColumn& col, std::vector<double>& out) const;
   /// Computes row `pos` of B^-1 A over all candidate-eligible columns:
   /// rho_ = btran(e_pos), then alpha_[j] = rho_ . A_j for every nonbasic j
@@ -123,8 +129,9 @@ class SimplexSolver {
   /// Applies the basis exchange at row `pos`: entering column becomes
   /// basic, leaving column takes `leave_state`, maintained reduced costs
   /// and Devex weights are updated from the pivot row (compute_pivot_row
-  /// must have run for `pos`), and the eta file / factorization absorbs the
-  /// change.  `w_` must hold the ftran of the entering column.
+  /// must have run for `pos`), and a Forrest-Tomlin update (or a
+  /// refactorization, when the budget/fill/stability monitors say so)
+  /// absorbs the change.  `w_` must hold the ftran of the entering column.
   void pivot(int entering, int pos, NonbasicState leave_state);
 
   [[nodiscard]] double nonbasic_value(int j) const;
@@ -150,7 +157,7 @@ class SimplexSolver {
   // Basis state.
   std::vector<int> basis_;              ///< Column index per row.
   std::vector<NonbasicState> state_;    ///< Per column.
-  BasisLU lu_;                          ///< Sparse factorization + eta file.
+  BasisLU lu_;                 ///< Sparse factorization + FT updates.
   std::vector<double> xb_;              ///< Basic variable values.
 
   // Pricing state.
@@ -159,11 +166,15 @@ class SimplexSolver {
   std::vector<int> candidates_;   ///< Current pricing candidate list.
 
   SolverOptions options_;
+  /// Effective Forrest-Tomlin update budget: 0 under the
+  /// WW_REFACTOR_EVERY_PIVOT ablation switch, else the deprecated
+  /// eta_limit alias when set, else SolverOptions::update_budget.
+  int update_budget_ = 0;
   long iterations_ = 0;
   long iterations_this_solve_ = 0;
   long since_refactor_ = 0;
   long refactorizations_this_solve_ = 0;
-  long eta_updates_this_solve_ = 0;
+  long ft_updates_this_solve_ = 0;
   bool use_bland_ = false;
   bool basis_capturable_ = false;  ///< Last solve ended at an optimal basis.
 

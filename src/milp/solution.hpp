@@ -45,9 +45,9 @@ struct Solution {
   /// whose initial logical basis was primal infeasible).
   long phase1_nodes = 0;
   /// Sparse-kernel diagnostics: full LU factorizations of the basis and
-  /// product-form eta columns absorbed between them.
+  /// Forrest-Tomlin basis updates absorbed between them.
   long refactorizations = 0;
-  long eta_updates = 0;
+  long ft_updates = 0;
   /// Presolve diagnostics (zero when SolverOptions::presolve is off): how
   /// much of the model never reached the simplex, and what the reductions
   /// cost.  presolve_seconds is included in solve_seconds.
@@ -81,6 +81,13 @@ struct Solution {
 /// presolve.cpp.
 [[nodiscard]] bool presolve_enabled_by_default() noexcept;
 
+/// Process-wide switch forcing a refactorization after every simplex pivot
+/// (the slow-but-simple ablation path): true when the WW_REFACTOR_EVERY_PIVOT
+/// environment variable says on|1|true.  CI runs the whole suite this way so
+/// the Forrest-Tomlin update can always be cross-checked against fresh
+/// factorizations.  Defined in simplex.cpp.
+[[nodiscard]] bool refactor_every_pivot_forced() noexcept;
+
 /// Entering-variable selection rule for the primal simplex.
 enum class Pricing {
   Devex,    ///< Reference-framework Devex weights with a candidate list.
@@ -100,10 +107,24 @@ struct SolverOptions {
   int refactor_interval = 100;         ///< Iteration cadence backstop for
                                        ///< refactorization (numeric hygiene
                                        ///< for xb / reduced-cost drift).
-  /// Maximum product-form eta columns accumulated before the basis is
-  /// refactorized.  Each eta makes every ftran/btran a little more
-  /// expensive and a little less accurate; refactorizing resets both.
-  int eta_limit = 64;
+  /// Maximum Forrest-Tomlin basis updates absorbed between
+  /// refactorizations.  0 refactorizes after every pivot — the
+  /// slow-but-simple ablation path (also reachable process-wide through
+  /// the WW_REFACTOR_EVERY_PIVOT environment switch, which overrides
+  /// everything here).  Unlike the product-form eta file this replaced,
+  /// updates keep ftran/btran cost flat, so the budget is numeric hygiene
+  /// rather than a speed knob.
+  int update_budget = 64;
+  /// Refactorize when the factors' fill — U spikes plus row-eta nonzeros —
+  /// grows past this multiple of the freshly factorized nonzero count
+  /// (BasisLU::fill_ratio()).  Growth degrades both solve cost and
+  /// accuracy, so it triggers refactorization instead of a fixed eta cap.
+  double fill_growth_limit = 3.0;
+  /// Deprecated: pre-Forrest-Tomlin name for the update cadence.  The eta
+  /// file is gone; a nonzero value overrides update_budget so existing
+  /// callers keep their refactorization cadence.  0 (the default) defers
+  /// to update_budget.
+  int eta_limit = 0;
   /// Entering-variable rule; Devex is the default, Dantzig kept for
   /// equivalence testing.  Both fall back to Bland's rule after
   /// `bland_iterations` for anti-cycling.

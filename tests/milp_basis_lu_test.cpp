@@ -1,6 +1,6 @@
 // BasisLU kernel coverage: randomized sparse-basis factorization checked
 // against a dense-inverse reference (FTRAN/BTRAN residuals < 1e-9),
-// singular-basis rejection, and eta-update correctness across forced
+// singular-basis rejection, and Forrest-Tomlin update correctness across forced
 // refactorizations.
 #include "milp/basis_lu.hpp"
 
@@ -200,9 +200,9 @@ TEST(BasisLU, RejectsNumericallyDependentColumns) {
   EXPECT_TRUE(lu.factorize(m, cols, {0, 1, 3}));
 }
 
-TEST(BasisLU, EtaUpdatesTrackFreshFactorization) {
+TEST(BasisLU, FtUpdatesTrackFreshFactorization) {
   // Apply a chain of column replacements through update(); after every
-  // step, ftran/btran through LU + etas must agree with a from-scratch
+  // step, ftran/btran through the updated LU must agree with a from-scratch
   // factorization of the evolved basis and keep dense residuals < 1e-9.
   util::Rng rng(1234);
   const int m = 24;
@@ -228,63 +228,96 @@ TEST(BasisLU, EtaUpdatesTrackFreshFactorization) {
       cand.values.push_back(rng.uniform(-1.0, 1.0));
     }
 
-    // w = B^-1 a via the current (LU + etas) kernel.
+    // w = B^-1 a via the current (updated LU) kernel, saving the spike the
+    // Forrest-Tomlin update consumes.
     std::vector<double> w(static_cast<std::size_t>(m), 0.0);
     for (std::size_t k = 0; k < cand.rows.size(); ++k)
       w[static_cast<std::size_t>(cand.rows[k])] += cand.values[k];
-    lu.ftran(w);
+    lu.ftran(w, /*save_spike=*/true);
     if (std::abs(w[static_cast<std::size_t>(pos)]) < 1e-6) continue;
 
     cols.push_back(cand);
     basis[static_cast<std::size_t>(pos)] = static_cast<int>(cols.size()) - 1;
-    ASSERT_TRUE(lu.update(w, pos));
+    ASSERT_TRUE(lu.update(pos));
     ++applied;
 
     const auto b = dense_basis(m, cols, basis);
     BasisLU fresh;
     ASSERT_TRUE(fresh.factorize(m, cols, basis));
-    EXPECT_EQ(fresh.eta_count(), 0);
-    EXPECT_EQ(lu.eta_count(), applied);
+    EXPECT_EQ(fresh.update_count(), 0);
+    EXPECT_EQ(lu.update_count(), applied);
 
     std::vector<double> rhs(static_cast<std::size_t>(m));
     for (auto& v : rhs) v = rng.uniform(-2.0, 2.0);
 
-    std::vector<double> via_eta(rhs), via_fresh(rhs);
-    lu.ftran(via_eta);
+    std::vector<double> via_upd(rhs), via_fresh(rhs);
+    lu.ftran(via_upd);
     fresh.ftran(via_fresh);
-    EXPECT_LT(ftran_residual(b, via_eta, rhs), 1e-9) << "step " << step;
+    EXPECT_LT(ftran_residual(b, via_upd, rhs), 1e-9) << "step " << step;
     for (int i = 0; i < m; ++i)
-      EXPECT_NEAR(via_eta[static_cast<std::size_t>(i)],
+      EXPECT_NEAR(via_upd[static_cast<std::size_t>(i)],
                   via_fresh[static_cast<std::size_t>(i)], 1e-8);
 
-    std::vector<double> bt_eta(rhs), bt_fresh(rhs);
-    lu.btran(bt_eta);
+    std::vector<double> bt_upd(rhs), bt_fresh(rhs);
+    lu.btran(bt_upd);
     fresh.btran(bt_fresh);
-    EXPECT_LT(btran_residual(b, bt_eta, rhs), 1e-9) << "step " << step;
+    EXPECT_LT(btran_residual(b, bt_upd, rhs), 1e-9) << "step " << step;
     for (int i = 0; i < m; ++i)
-      EXPECT_NEAR(bt_eta[static_cast<std::size_t>(i)],
+      EXPECT_NEAR(bt_upd[static_cast<std::size_t>(i)],
                   bt_fresh[static_cast<std::size_t>(i)], 1e-8);
 
     // Forced refactorization mid-chain: results must be unchanged.
     if (applied == 6) {
       ASSERT_TRUE(lu.factorize(m, cols, basis));
-      EXPECT_EQ(lu.eta_count(), 0);
+      EXPECT_EQ(lu.update_count(), 0);
       applied = 0;
     }
   }
-  EXPECT_GT(applied, 0);  // the chain actually exercised the eta path
+  EXPECT_GT(applied, 0);  // the chain actually exercised the update path
 }
 
-TEST(BasisLU, UpdateRejectsTinyPivot) {
+TEST(BasisLU, UpdateRejectsSingularReplacement) {
+  // Replacing the column in position 3 by a copy of the column basic in
+  // position 5 makes the basis exactly singular: the update pivot
+  // w[3] = 0, so the Forrest-Tomlin diagonal vanishes and update() must
+  // refuse (and leave the factors untouched) instead of committing.
   util::Rng rng(99);
   const int m = 8;
+  std::vector<SparseVec> cols = random_sparse_columns(m, rng);
+  BasisLU lu;
+  ASSERT_TRUE(lu.factorize(m, cols, identity_basis(m)));
+  std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+  for (std::size_t k = 0; k < cols[5].rows.size(); ++k)
+    w[static_cast<std::size_t>(cols[5].rows[k])] += cols[5].values[k];
+  lu.ftran(w, /*save_spike=*/true);
+  EXPECT_FALSE(lu.update(3));
+  EXPECT_EQ(lu.update_count(), 0);
+
+  // The refused update must not have corrupted anything: solves still
+  // match the original basis.
+  const auto b = dense_basis(m, cols, identity_basis(m));
+  std::vector<double> rhs(static_cast<std::size_t>(m));
+  for (auto& v : rhs) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> x(rhs);
+  lu.ftran(x);
+  EXPECT_LT(ftran_residual(b, x, rhs), 1e-9);
+}
+
+TEST(BasisLU, UpdateWithoutSavedSpikeRefuses) {
+  // update() consumes the spike saved by the most recent ftran(x, true);
+  // without one pending it must refuse rather than use stale state.
+  util::Rng rng(101);
+  const int m = 6;
   const std::vector<SparseVec> cols = random_sparse_columns(m, rng);
   BasisLU lu;
   ASSERT_TRUE(lu.factorize(m, cols, identity_basis(m)));
-  std::vector<double> w(static_cast<std::size_t>(m), 1.0);
-  w[3] = 1e-13;  // pivot below the stability threshold
-  EXPECT_FALSE(lu.update(w, 3));
-  EXPECT_EQ(lu.eta_count(), 0);
+  EXPECT_FALSE(lu.update(2));
+  std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+  for (std::size_t k = 0; k < cols[2].rows.size(); ++k)
+    w[static_cast<std::size_t>(cols[2].rows[k])] += cols[2].values[k];
+  lu.ftran(w, /*save_spike=*/true);
+  EXPECT_TRUE(lu.update(2));   // identical column: a valid (trivial) update
+  EXPECT_FALSE(lu.update(2));  // spike already consumed
 }
 
 }  // namespace

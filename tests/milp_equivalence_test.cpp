@@ -1,0 +1,145 @@
+// Cross-mode equivalence harness: every instance family in
+// milp/instances.hpp swept across the full cartesian product of solver
+// modes — {presolve on/off} x {warm/cold} x {Devex/Dantzig} x
+// {Forrest-Tomlin/refactorize-every-pivot} — asserting identical
+// objectives and feasible, integral answers.  Subsystem interactions are
+// covered combinatorially here, so a change to any one of presolve, the
+// LU kernel, pricing, or warm start that only misbehaves in combination
+// with another still trips a failure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "milp/branch_and_bound.hpp"
+#include "milp/instances.hpp"
+#include "milp/model.hpp"
+
+namespace ww::milp {
+namespace {
+
+struct Instance {
+  const char* name;
+  Model model;
+};
+
+std::vector<Instance> corpus() {
+  std::vector<Instance> out;
+  out.push_back({"shaped-24x4", waterwise_shaped_model(24, 4)});
+  out.push_back({"hard-chunk-60x4", hard_chunk_model(60, 4, 0.4)});
+  out.push_back({"soft-chunk-30x4", soft_chunk_model(30, 4)});
+  out.push_back({"weak-relax-10x3", weak_relaxation_model(10, 3, 5.0)});
+  return out;
+}
+
+std::string mode_name(int mask) {
+  std::string s;
+  s += (mask & 1) ? "presolve" : "raw";
+  s += (mask & 2) ? "+warm" : "+cold";
+  s += (mask & 4) ? "+devex" : "+dantzig";
+  s += (mask & 8) ? "+ft" : "+refactor-every-pivot";
+  return s;
+}
+
+SolverOptions mode_options(int mask) {
+  SolverOptions o;
+  o.presolve = (mask & 1) != 0;
+  o.warm_start = (mask & 2) != 0;
+  o.pricing = (mask & 4) != 0 ? Pricing::Devex : Pricing::Dantzig;
+  o.update_budget = (mask & 8) != 0 ? 64 : 0;
+  return o;
+}
+
+TEST(MilpEquivalence, AllModeCombinationsAgree) {
+  for (Instance& inst : corpus()) {
+    // Reference: all subsystems on, exactly the production defaults.
+    const Solution ref = solve(inst.model, mode_options(0xF));
+    ASSERT_EQ(ref.status, Status::Optimal) << inst.name;
+    ASSERT_LE(inst.model.max_violation(ref.values), 1e-6) << inst.name;
+
+    for (int mask = 0; mask < 16; ++mask) {
+      const SolverOptions opts = mode_options(mask);
+      const Solution sol = solve(inst.model, opts);
+      const std::string tag =
+          std::string(inst.name) + " [" + mode_name(mask) + "]";
+      ASSERT_EQ(sol.status, Status::Optimal) << tag;
+      EXPECT_NEAR(sol.objective, ref.objective, 1e-7) << tag;
+      EXPECT_LE(inst.model.max_violation(sol.values), 1e-6) << tag;
+      for (int j = 0; j < inst.model.num_variables(); ++j) {
+        if (inst.model.variable(j).type == VarType::Continuous) continue;
+        const double v = sol.values[static_cast<std::size_t>(j)];
+        EXPECT_NEAR(v, std::round(v), 1e-6) << tag << " var " << j;
+      }
+    }
+  }
+}
+
+/// Continuous relaxation of `m`: same bounds, objective, and rows, every
+/// variable continuous.
+Model relax(const Model& m) {
+  Model out;
+  out.reserve(m.num_variables(), m.num_constraints());
+  for (int j = 0; j < m.num_variables(); ++j) {
+    const Variable& v = m.variable(j);
+    (void)out.add_variable(v.lower, v.upper, VarType::Continuous, v.objective);
+  }
+  for (int i = 0; i < m.num_constraints(); ++i) {
+    const Constraint& c = m.constraint(i);
+    (void)out.add_constraint(c.terms, c.sense, c.rhs);
+  }
+  return out;
+}
+
+TEST(MilpEquivalence, PureLpModesAgree) {
+  // The same sweep for the LP path (no integer variables): relaxing the
+  // corpus exercises the plain simplex + duals extraction under every
+  // kernel/pricing/presolve combination, where warm start is irrelevant
+  // but must at least not break anything.
+  for (Instance& inst : corpus()) {
+    const Model relaxed = relax(inst.model);
+
+    const Solution ref = solve(relaxed, mode_options(0xF));
+    ASSERT_EQ(ref.status, Status::Optimal) << inst.name << " (LP)";
+    for (int mask = 0; mask < 16; ++mask) {
+      const Solution sol = solve(relaxed, mode_options(mask));
+      const std::string tag =
+          std::string(inst.name) + " LP [" + mode_name(mask) + "]";
+      ASSERT_EQ(sol.status, Status::Optimal) << tag;
+      EXPECT_NEAR(sol.objective, ref.objective, 1e-7) << tag;
+      EXPECT_LE(relaxed.max_violation(sol.values), 1e-6) << tag;
+    }
+  }
+}
+
+TEST(MilpEquivalence, InfeasibleAgreesAcrossModes) {
+  // Infeasibility must also be mode-independent: an over-capacitated
+  // assignment (12 jobs but only 4 x 2 = 8 slots) has no feasible point,
+  // and every combination must prove it rather than return something.
+  const int jobs = 12, regions = 4;
+  Model m;
+  std::vector<int> x(static_cast<std::size_t>(jobs * regions));
+  for (int j = 0; j < jobs; ++j)
+    for (int r = 0; r < regions; ++r)
+      x[static_cast<std::size_t>(j * regions + r)] =
+          m.add_binary(0.5 + 0.1 * r);
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<Term> t;
+    for (int r = 0; r < regions; ++r)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
+    (void)m.add_constraint(std::move(t), Sense::Equal, 1.0);
+  }
+  for (int r = 0; r < regions; ++r) {
+    std::vector<Term> t;
+    for (int j = 0; j < jobs; ++j)
+      t.push_back({x[static_cast<std::size_t>(j * regions + r)], 1.0});
+    (void)m.add_constraint(std::move(t), Sense::LessEqual, 2.0);
+  }
+  for (int mask = 0; mask < 16; ++mask) {
+    const Solution sol = solve(m, mode_options(mask));
+    EXPECT_EQ(sol.status, Status::Infeasible) << mode_name(mask);
+  }
+}
+
+}  // namespace
+}  // namespace ww::milp

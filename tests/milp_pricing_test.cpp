@@ -1,7 +1,8 @@
 // Pricing-rule equivalence: Devex (candidate list) and Dantzig must land on
 // identical optimal objectives across the instance corpus, under forced
 // Bland fallback (Beale's cycling LP), and across forced refactorization
-// cadences (eta_limit sweep) — the knobs must change speed, never answers.
+// cadences (deprecated eta_limit alias sweep) — the knobs must change
+// speed, never answers.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -131,9 +132,10 @@ TEST(Pricing, BealeTerminatesUnderForcedBlandWithEitherRule) {
 }
 
 TEST(Pricing, EtaLimitSweepPreservesObjectives) {
-  // eta_limit 1 refactorizes after every pivot; 4 exercises short eta
-  // chains; 64 is the default.  All must agree — the eta file is a pure
-  // representation change.
+  // The deprecated eta_limit alias maps onto the Forrest-Tomlin update
+  // budget: 1 refactorizes after every pivot, 4 exercises short update
+  // chains, 64 matches the default.  All must agree — the update cadence
+  // is a pure representation change.
   const std::vector<Model> models = corpus();
   for (std::size_t idx = 0; idx < models.size(); ++idx) {
     const Model& m = models[idx];
