@@ -1,6 +1,8 @@
 // Fig. 11: WaterWise across cluster utilization levels (5%/15%/25%),
 // obtained by changing the number of available servers per region.  Every
 // (level, policy) cell is an independent campaign-runner scenario.
+#include <algorithm>
+
 #include "common.hpp"
 
 int main() {
@@ -49,5 +51,14 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape check vs. paper: WaterWise stays close to the oracles at\n"
                "every utilization level (paper: within 13.31%/7.04% at 5%).\n";
+
+  // Standing invariant at the tightest utilization level (25% => 0.6x
+  // servers): chunk-parallel solves must not change a single placement.
+  bench::CampaignSpec eq_spec;
+  eq_spec.tol = 0.5;
+  eq_spec.capacity_scale = 0.6;
+  const auto eq_jobs = trace::generate_trace(
+      trace::borg_config(7, std::min(0.05, bench::campaign_days())));
+  if (!bench::check_chunk_parallel_equivalence(eq_jobs, eq_spec)) return 1;
   return 0;
 }

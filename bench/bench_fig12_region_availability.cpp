@@ -2,6 +2,8 @@
 // five regions (paper panels: Zurich-Madrid-Oregon-Milan, Zurich-Milan-
 // Mumbai, Zurich-Oregon).  Each (subset, policy) pair is an independent
 // campaign-runner scenario building its own trace and environment.
+#include <algorithm>
+
 #include "common.hpp"
 
 namespace {
@@ -61,5 +63,14 @@ int main() {
   std::cout << "\nShape check vs. paper: savings persist under every subset; the\n"
                "Zurich-Milan-Mumbai panel (large carbon-intensity spread) yields\n"
                "the largest carbon savings.\n";
+
+  // Standing invariant: a thread-count sweep over the full five-region
+  // environment (every subset runs the same plan/solve/commit path) must
+  // reproduce the serial decision stream byte for byte.
+  bench::CampaignSpec eq_spec;
+  eq_spec.tol = 0.5;
+  const auto eq_jobs =
+      trace::generate_trace(trace::borg_config(7, std::min(0.05, days)));
+  if (!bench::check_chunk_parallel_equivalence(eq_jobs, eq_spec)) return 1;
   return 0;
 }

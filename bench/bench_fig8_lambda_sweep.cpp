@@ -1,6 +1,8 @@
 // Fig. 8: configurability — sweeping the carbon/water objective weights
 // (lambda_CO2 in {0.3, 0.5, 0.7}) at 50% delay tolerance.  The sweep fans
 // out through the campaign runner (WW_BENCH_JOBS controls the thread count).
+#include <algorithm>
+
 #include "common.hpp"
 
 int main() {
@@ -43,5 +45,11 @@ int main() {
   std::cout << "\nShape check vs. paper: higher lambda_CO2 tilts savings toward\n"
                "carbon (paper: 25.18%/21.1% at 0.3 -> 31.1%/13.6% at 0.7); both\n"
                "metrics stay positive at every setting.\n";
+
+  // Standing invariant: the lambda=0.5 configuration re-run with the
+  // chunk-parallel pipeline at 1/2/4 solver threads must be byte-identical.
+  const auto eq_jobs = trace::generate_trace(
+      trace::borg_config(7, std::min(0.05, bench::campaign_days())));
+  if (!bench::check_chunk_parallel_equivalence(eq_jobs, spec)) return 1;
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
 #include "util/timer.hpp"
 
@@ -103,6 +104,60 @@ dc::CampaignResult run_policy(const std::vector<trace::Job>& jobs,
                               const core::WaterWiseConfig& ww_config) {
   const auto scheduler = make_scheduler(policy, ww_config);
   return run_campaign(jobs, *scheduler, spec);
+}
+
+bool check_chunk_parallel_equivalence(const std::vector<trace::Job>& jobs,
+                                      const CampaignSpec& spec,
+                                      core::WaterWiseConfig ww_config) {
+  // Force multi-chunk windows so the check exercises real fan-out even on
+  // short traces, and record per-job outcomes for the stream comparison.
+  ww_config.max_jobs_per_solve = std::min(ww_config.max_jobs_per_solve, 25);
+  CampaignSpec rec_spec = spec;
+  rec_spec.sim.record_jobs = true;
+
+  std::optional<dc::CampaignResult> ref;
+  long ref_chunks = 0;
+  std::size_t ref_threads = 0;
+  bool ok = true;
+  for (const int threads : {1, 2, 4}) {
+    ww_config.solver_threads = threads;
+    core::WaterWiseScheduler ww(ww_config);
+    const dc::CampaignResult res = run_campaign(jobs, ww, rec_spec);
+    if (!ref) {
+      ref = res;
+      ref_chunks = ww.stats().chunks_planned;
+      ref_threads = ww.effective_solver_threads();
+      continue;
+    }
+    bool same = res.num_jobs == ref->num_jobs &&
+                res.total_carbon_g == ref->total_carbon_g &&
+                res.total_water_l == ref->total_water_l &&
+                res.violations == ref->violations &&
+                res.jobs_per_region == ref->jobs_per_region &&
+                res.makespan_seconds == ref->makespan_seconds &&
+                res.jobs.size() == ref->jobs.size();
+    if (same) {
+      for (std::size_t i = 0; i < res.jobs.size(); ++i) {
+        if (res.jobs[i].job_id != ref->jobs[i].job_id ||
+            res.jobs[i].exec_region != ref->jobs[i].exec_region ||
+            res.jobs[i].start_time != ref->jobs[i].start_time) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (!same) {
+      std::cout << "[chunk-parallel] FAILED: solver_threads=" << threads
+                << " diverged from the solver_threads=1 decision stream\n";
+      ok = false;
+    }
+  }
+  if (ok)
+    std::cout << "[chunk-parallel] solver_threads {1, 2, 4}: decision stream "
+                 "and aggregates byte-identical ("
+              << ref_chunks << " chunk plans; first run used " << ref_threads
+              << " thread(s))\n";
+  return ok;
 }
 
 }  // namespace ww::bench

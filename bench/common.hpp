@@ -81,4 +81,16 @@ enum class Policy {
     const std::vector<trace::Job>& jobs, Policy policy,
     const CampaignSpec& spec, const core::WaterWiseConfig& ww_config = {});
 
+/// Chunk-parallel equivalence check shared by the campaign drivers: runs a
+/// WaterWise campaign over `jobs` with chunking forced (max_jobs_per_solve
+/// clamped to 25) at solver_threads in {1, 2, 4} and verifies the per-job
+/// decision stream and every aggregate are byte-identical.  Prints a
+/// one-line verdict; returns false on divergence (bench_fig13's startup
+/// self-check exits nonzero on it).  Under a WW_SCHED_THREADS override the
+/// three runs collapse onto the forced thread count, exactly like the
+/// WW_PRESOLVE sweep under its override.
+[[nodiscard]] bool check_chunk_parallel_equivalence(
+    const std::vector<trace::Job>& jobs, const CampaignSpec& spec,
+    core::WaterWiseConfig ww_config = {});
+
 }  // namespace ww::bench

@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/slack.hpp"
 
 namespace ww::core {
+
+namespace {
+
+/// WW_SCHED_THREADS overrides WaterWiseConfig::solver_threads process-wide
+/// (mirroring WW_PRESOLVE / WW_REFACTOR_EVERY_PIVOT): a non-negative integer
+/// thread count, 0 = all cores.  Unset or unparsable leaves the config in
+/// charge.  Cached: the switch is a process property, not a per-call one.
+std::optional<int> sched_threads_override() noexcept {
+  static const std::optional<int> value = []() -> std::optional<int> {
+    const char* v = std::getenv("WW_SCHED_THREADS");
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < 0 || parsed > 1024)
+      return std::nullopt;
+    return static_cast<int>(parsed);
+  }();
+  return value;
+}
+
+}  // namespace
 
 WaterWiseScheduler::WaterWiseScheduler(WaterWiseConfig config)
     : config_(config) {
@@ -21,12 +44,19 @@ WaterWiseScheduler::WaterWiseScheduler(WaterWiseConfig config)
   config_.lambda_h2o /= sum;
 }
 
+std::size_t WaterWiseScheduler::effective_solver_threads() const noexcept {
+  const int configured =
+      sched_threads_override().value_or(config_.solver_threads);
+  return util::ThreadPool::resolve_threads(
+      configured <= 0 ? 0 : static_cast<std::size_t>(configured));
+}
+
 milp::Solution WaterWiseScheduler::run_model(
     const std::vector<const dc::PendingJob*>& chunk,
-    const std::vector<int>& caps, const dc::ScheduleContext& ctx, bool soft,
-    int* out_num_assign_vars) {
+    const std::vector<int>& quota, const dc::ScheduleContext& ctx, bool soft,
+    int* out_num_assign_vars, SchedulerStats& stats) const {
   const int m = static_cast<int>(chunk.size());
-  const int n = static_cast<int>(caps.size());
+  const int n = static_cast<int>(quota.size());
   milp::Model model;
   // Unnamed variables/constraints (names are synthesized on demand for
   // debugging) and pre-sized vectors: a 400-job x 10-region chunk would
@@ -45,12 +75,12 @@ milp::Solution WaterWiseScheduler::run_model(
       x[static_cast<std::size_t>(j * n + r)] = model.add_binary();
   *out_num_assign_vars = m * n;
 
-  // A region with no free capacity cannot take any job this window.  The
+  // A region with no quota cannot take any job from this chunk.  The
   // capacity row (sum x <= 0) already implies it, but stating the fixings
   // as explicit bounds lets presolve substitute the columns out (and drop
   // the then-empty capacity row) before the simplex ever sees them.
   for (int r = 0; r < n; ++r) {
-    if (caps[static_cast<std::size_t>(r)] > 0) continue;
+    if (quota[static_cast<std::size_t>(r)] > 0) continue;
     for (int j = 0; j < m; ++j)
       model.set_variable_bounds(x[static_cast<std::size_t>(j * n + r)], 0.0,
                                 0.0);
@@ -116,7 +146,8 @@ milp::Solution WaterWiseScheduler::run_model(
     (void)model.add_constraint(std::move(terms), milp::Sense::Equal, 1.0);
   }
 
-  // Eq. 10: region capacity.
+  // Eq. 10: region capacity — this chunk's private quota, never the shared
+  // window capacity, so concurrent chunks cannot double-book a region.
   for (int r = 0; r < n; ++r) {
     std::vector<milp::Term> terms;
     terms.reserve(static_cast<std::size_t>(m));
@@ -124,7 +155,7 @@ milp::Solution WaterWiseScheduler::run_model(
       terms.push_back({x[static_cast<std::size_t>(j * n + r)], 1.0});
     (void)model.add_constraint(
         std::move(terms), milp::Sense::LessEqual,
-        static_cast<double>(caps[static_cast<std::size_t>(r)]));
+        static_cast<double>(quota[static_cast<std::size_t>(r)]));
   }
 
   // Eq. 11 (hard) / Eq. 12-13 (soft): delay tolerance.  The remaining
@@ -156,7 +187,7 @@ milp::Solution WaterWiseScheduler::run_model(
       // would cause, proportional to x so the relaxation has no penalty-free
       // fractional region and LP vertices stay integral.
       for (int r = 0; r < n; ++r) {
-        if (caps[static_cast<std::size_t>(r)] <= 0)
+        if (quota[static_cast<std::size_t>(r)] <= 0)
           continue;  // x_mn fixed to 0 above; no penalty row needed
         const double latency = ctx.env->transfer_latency_seconds(
             p.job->home_region, r, p.job->package_bytes);
@@ -203,7 +234,7 @@ milp::Solution WaterWiseScheduler::run_model(
 
   // Greedy seed incumbent: jobs most-constrained-first (longest estimated
   // runtime, then chunk order), each placed at the cheapest admissible
-  // region with remaining capacity.  The resulting feasible point enters
+  // region with remaining quota.  The resulting feasible point enters
   // branch-and-bound as the initial upper bound, so best-first search
   // prunes from node 0 instead of waiting for its first dive to bottom out.
   //
@@ -221,7 +252,7 @@ milp::Solution WaterWiseScheduler::run_model(
       return chunk[static_cast<std::size_t>(a)]->est_exec_s >
              chunk[static_cast<std::size_t>(b)]->est_exec_s;
     });
-    std::vector<int> caps_left(caps);
+    std::vector<int> quota_left(quota);
     std::vector<double> vals(static_cast<std::size_t>(model.num_variables()),
                              0.0);
     bool ok = true;
@@ -229,7 +260,7 @@ milp::Solution WaterWiseScheduler::run_model(
       int chosen = -1;
       double chosen_cost = 0.0;
       for (int r = 0; r < n; ++r) {
-        if (caps_left[static_cast<std::size_t>(r)] <= 0) continue;
+        if (quota_left[static_cast<std::size_t>(r)] <= 0) continue;
         const auto xi = static_cast<std::size_t>(x[static_cast<std::size_t>(
             j * n + r)]);
         const milp::Variable& v = model.variable(static_cast<int>(xi));
@@ -249,7 +280,7 @@ milp::Solution WaterWiseScheduler::run_model(
         ok = false;  // no admissible region left; let the solver decide
         break;
       }
-      --caps_left[static_cast<std::size_t>(chosen)];
+      --quota_left[static_cast<std::size_t>(chosen)];
       const auto xi =
           static_cast<std::size_t>(x[static_cast<std::size_t>(j * n + chosen)]);
       vals[xi] = 1.0;
@@ -260,66 +291,168 @@ milp::Solution WaterWiseScheduler::run_model(
     }
     if (ok) {
       seed = milp::Solution::incumbent_from_heuristic(model, std::move(vals));
-      ++stats_.seeded_incumbents;
+      ++stats.seeded_incumbents;
     }
   }
 
   milp::Solution sol =
       milp::solve(model, options, seed ? &*seed : nullptr);
-  ++stats_.milp_solves;
-  stats_.nodes_explored += sol.nodes_explored;
-  stats_.simplex_iterations += sol.simplex_iterations;
-  stats_.warm_started_nodes += sol.warm_started_nodes;
-  stats_.phase1_nodes += sol.phase1_nodes;
-  stats_.refactorizations += sol.refactorizations;
-  stats_.ft_updates += sol.ft_updates;
-  stats_.presolve_rows_removed += sol.presolve_rows_removed;
-  stats_.presolve_cols_removed += sol.presolve_cols_removed;
-  stats_.presolve_nonzeros_removed += sol.presolve_nonzeros_removed;
-  stats_.presolve_seconds += sol.presolve_seconds;
-  stats_.solve_seconds += sol.solve_seconds;
+  stats.add_solve(sol);
   return sol;
 }
 
-void WaterWiseScheduler::solve_chunk(
-    const std::vector<const dc::PendingJob*>& chunk, std::vector<int>& caps,
-    const dc::ScheduleContext& ctx, std::vector<dc::Decision>& decisions) {
+std::vector<ChunkPlan> WaterWiseScheduler::plan_chunks(
+    const std::vector<const dc::PendingJob*>& selected,
+    const std::vector<int>& caps) const {
   const int n = static_cast<int>(caps.size());
+  const auto chunk_cap = static_cast<std::size_t>(
+      std::max(1, config_.max_jobs_per_solve));
+  std::vector<ChunkPlan> plans;
+  if (selected.empty()) return plans;
+  const std::size_t num_chunks = (selected.size() + chunk_cap - 1) / chunk_cap;
+  plans.resize(num_chunks);
+  for (std::size_t k = 0; k < num_chunks; ++k) {
+    const std::size_t begin = k * chunk_cap;
+    const std::size_t end = std::min(selected.size(), begin + chunk_cap);
+    plans[k].index = static_cast<int>(k);
+    plans[k].jobs.assign(
+        selected.begin() + static_cast<std::ptrdiff_t>(begin),
+        selected.begin() + static_cast<std::ptrdiff_t>(end));
+    plans[k].quota.assign(static_cast<std::size_t>(n), 0);
+  }
+  if (num_chunks == 1) {
+    // The common case: one chunk owns the whole window's capacity, making
+    // the pipeline placement-identical to a monolithic solve.
+    plans[0].quota = caps;
+    return plans;
+  }
+
+  // Apportion every region's capacity across chunks proportionally to chunk
+  // size by the largest-remainder method; remainder ties break toward the
+  // lower chunk index.  All capacity is handed out — slots no chunk uses
+  // flow back through ChunkResult::leftover into the spill pool.
+  std::size_t total_jobs = 0;
+  for (const ChunkPlan& p : plans) total_jobs += p.jobs.size();
+  std::vector<long> chunk_total(num_chunks, 0);
+  std::vector<std::pair<double, std::size_t>> frac(num_chunks);
+  for (int r = 0; r < n; ++r) {
+    const long cap = caps[static_cast<std::size_t>(r)];
+    if (cap <= 0) continue;
+    long handed = 0;
+    for (std::size_t k = 0; k < num_chunks; ++k) {
+      const double exact =
+          static_cast<double>(cap) *
+          (static_cast<double>(plans[k].jobs.size()) /
+           static_cast<double>(total_jobs));
+      const long share = static_cast<long>(std::floor(exact));
+      plans[k].quota[static_cast<std::size_t>(r)] += static_cast<int>(share);
+      chunk_total[k] += share;
+      handed += share;
+      frac[k] = {exact - static_cast<double>(share), k};
+    }
+    // Largest fractional remainder first; equal remainders go to the lower
+    // chunk index (stable sort on a deterministically ordered input).
+    std::stable_sort(frac.begin(), frac.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (long i = 0; i < cap - handed; ++i) {
+      const std::size_t k =
+          frac[static_cast<std::size_t>(i) % num_chunks].second;
+      plans[k].quota[static_cast<std::size_t>(r)] += 1;
+      chunk_total[k] += 1;
+    }
+  }
+
+  // Repair pass: per-region rounding can leave a chunk with fewer total
+  // slots than jobs (adversarial tiny-capacity windows: many cap-1 regions
+  // whose remainders all land on one chunk).  Move single slots from the
+  // largest-surplus chunk (ties: lower index), taking from its
+  // largest-quota region (ties: lower region), until every chunk covers
+  // its job count.  Total capacity >= total selected jobs (the slack
+  // manager guarantees it), so enough surplus always exists.
+  for (std::size_t k = 0; k < num_chunks; ++k) {
+    while (chunk_total[k] < static_cast<long>(plans[k].jobs.size())) {
+      std::size_t donor = num_chunks;
+      long best_surplus = 0;
+      for (std::size_t j = 0; j < num_chunks; ++j) {
+        const long surplus =
+            chunk_total[j] - static_cast<long>(plans[j].jobs.size());
+        if (surplus > best_surplus) {
+          best_surplus = surplus;
+          donor = j;
+        }
+      }
+      if (donor == num_chunks) break;  // defensive: selected exceeded caps
+      int region = -1;
+      for (int r = 0; r < n; ++r) {
+        if (plans[donor].quota[static_cast<std::size_t>(r)] <= 0) continue;
+        if (region < 0 || plans[donor].quota[static_cast<std::size_t>(r)] >
+                              plans[donor].quota[static_cast<std::size_t>(
+                                  region)])
+          region = r;
+      }
+      if (region < 0) break;  // defensive: donor surplus was stale
+      plans[donor].quota[static_cast<std::size_t>(region)] -= 1;
+      chunk_total[donor] -= 1;
+      plans[k].quota[static_cast<std::size_t>(region)] += 1;
+      chunk_total[k] += 1;
+    }
+  }
+  return plans;
+}
+
+ChunkResult WaterWiseScheduler::solve_one(const ChunkPlan& plan,
+                                          const dc::ScheduleContext& ctx)
+    const {
+  const int n = static_cast<int>(plan.quota.size());
+  ChunkResult out;
+  out.index = plan.index;
+  out.leftover = plan.quota;
   int num_x = 0;
 
   milp::Solution sol;
-  bool used_soft = false;
   if (config_.enable_soft_constraints) {
-    sol = run_model(chunk, caps, ctx, /*soft=*/false, &num_x);
+    sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/false, &num_x,
+                    out.stats);
     if (!sol.usable()) {
       // Algorithm 1, lines 10-11: soften and retry.
-      ++stats_.soft_fallbacks;
-      used_soft = true;
-      sol = run_model(chunk, caps, ctx, /*soft=*/true, &num_x);
+      ++out.stats.soft_fallbacks;
+      sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/true, &num_x,
+                      out.stats);
     }
   } else {
-    sol = run_model(chunk, caps, ctx, /*soft=*/false, &num_x);
+    sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/false, &num_x,
+                    out.stats);
   }
-  (void)used_soft;
   if (!sol.usable()) {
     if (!config_.enable_soft_constraints) {
       // Degraded (ablation) mode: with softening disabled, an infeasible
       // hard model would otherwise defer the whole chunk forever while the
-      // backlog grows.  Fall back to home placement for whatever fits —
-      // the violations this causes are the ablation's measurement.
-      for (const dc::PendingJob* p : chunk) {
-        auto& home_cap = caps[static_cast<std::size_t>(p->job->home_region)];
-        if (home_cap <= 0) continue;
-        --home_cap;
-        decisions.push_back(
+      // backlog grows.  Fall back to home placement for whatever fits the
+      // chunk's quota — the violations this causes are the ablation's
+      // measurement; the rest becomes spill-eligible.
+      for (const dc::PendingJob* p : plan.jobs) {
+        auto& home_quota =
+            out.leftover[static_cast<std::size_t>(p->job->home_region)];
+        if (home_quota <= 0) {
+          out.unplaced.push_back(p);
+          continue;
+        }
+        --home_quota;
+        out.decisions.push_back(
             dc::Decision{p->job->id, p->job->home_region, ctx.now, 1.0});
       }
+    } else {
+      // Solver budget exhausted with no incumbent: the whole chunk spills
+      // (one serial retry in commit(), then deferral to the next batch).
+      out.unplaced = plan.jobs;
     }
-    return;  // otherwise defer the chunk to the next batch
+    return out;
   }
 
-  for (int j = 0; j < static_cast<int>(chunk.size()); ++j) {
-    const dc::PendingJob& p = *chunk[static_cast<std::size_t>(j)];
+  for (int j = 0; j < static_cast<int>(plan.jobs.size()); ++j) {
+    const dc::PendingJob& p = *plan.jobs[static_cast<std::size_t>(j)];
     int chosen = -1;
     for (int r = 0; r < n; ++r) {
       if (sol.values[static_cast<std::size_t>(j * n + r)] > 0.5) {
@@ -327,14 +460,67 @@ void WaterWiseScheduler::solve_chunk(
         break;
       }
     }
-    if (chosen < 0) continue;
-    if (caps[static_cast<std::size_t>(chosen)] <= 0) continue;
-    --caps[static_cast<std::size_t>(chosen)];
+    // Eq. 9 places every job and Eq. 10 caps placements at the quota, so
+    // both guards are defensive (a budget-limited incumbent is still
+    // feasible); an unplaced job is spill-eligible rather than dropped.
+    if (chosen < 0 || out.leftover[static_cast<std::size_t>(chosen)] <= 0) {
+      out.unplaced.push_back(&p);
+      continue;
+    }
+    --out.leftover[static_cast<std::size_t>(chosen)];
     const double start = ctx.now + ctx.env->transfer_latency_seconds(
                                        p.job->home_region, chosen,
                                        p.job->package_bytes);
-    decisions.push_back(dc::Decision{p.job->id, chosen, start, 1.0});
+    out.decisions.push_back(dc::Decision{p.job->id, chosen, start, 1.0});
   }
+  return out;
+}
+
+std::vector<dc::Decision> WaterWiseScheduler::commit(
+    std::vector<ChunkResult>&& results, const dc::ScheduleContext& ctx) {
+  std::vector<dc::Decision> decisions;
+  if (results.empty()) return decisions;
+  // Deterministic reduction: chunk-index order, never completion order.
+  std::sort(results.begin(), results.end(),
+            [](const ChunkResult& a, const ChunkResult& b) {
+              return a.index < b.index;
+            });
+
+  std::vector<int> spill(results.front().leftover.size(), 0);
+  std::vector<const dc::PendingJob*> unplaced;
+  int next_index = 0;
+  for (ChunkResult& r : results) {
+    stats_ += r.stats;
+    decisions.insert(decisions.end(), r.decisions.begin(), r.decisions.end());
+    for (std::size_t i = 0; i < spill.size(); ++i)
+      spill[i] += r.leftover[i];
+    unplaced.insert(unplaced.end(), r.unplaced.begin(), r.unplaced.end());
+    next_index = r.index + 1;
+  }
+
+  long spill_total = 0;
+  for (const int s : spill) spill_total += s;
+  if (unplaced.empty() || spill_total <= 0) return decisions;
+
+  // One serial spill re-solve: jobs no chunk placed get the pooled unused
+  // quota, exactly as a serial scheduler with the same quotas would.  Jobs
+  // beyond the pool (or beyond one chunk's worth) stay pending and reappear
+  // in the next batch window, matching the pre-pipeline deferral behavior.
+  ChunkPlan rest;
+  rest.index = next_index;
+  rest.jobs = std::move(unplaced);
+  const auto spill_jobs = static_cast<std::size_t>(
+      std::min<long>({static_cast<long>(rest.jobs.size()), spill_total,
+                      static_cast<long>(
+                          std::max(1, config_.max_jobs_per_solve))}));
+  rest.jobs.resize(spill_jobs);
+  rest.quota = std::move(spill);
+  ++stats_.spill_resolves;
+  stats_.spill_jobs += static_cast<long>(rest.jobs.size());
+  ChunkResult rr = solve_one(rest, ctx);
+  stats_ += rr.stats;
+  decisions.insert(decisions.end(), rr.decisions.begin(), rr.decisions.end());
+  return decisions;
 }
 
 std::vector<dc::Decision> WaterWiseScheduler::schedule(
@@ -379,19 +565,22 @@ std::vector<dc::Decision> WaterWiseScheduler::schedule(
       selected.resize(static_cast<std::size_t>(total_cap));
   }
 
-  std::vector<dc::Decision> decisions;
-  decisions.reserve(selected.size());
-  for (std::size_t offset = 0; offset < selected.size();
-       offset += static_cast<std::size_t>(config_.max_jobs_per_solve)) {
-    const std::size_t end = std::min(
-        selected.size(),
-        offset + static_cast<std::size_t>(config_.max_jobs_per_solve));
-    const std::vector<const dc::PendingJob*> chunk(
-        selected.begin() + static_cast<std::ptrdiff_t>(offset),
-        selected.begin() + static_cast<std::ptrdiff_t>(end));
-    solve_chunk(chunk, caps, ctx, decisions);
+  // Plan -> solve -> commit: quota partition, pure per-chunk solves (fanned
+  // across the pool when configured), deterministic in-order merge.
+  std::vector<ChunkPlan> plans = plan_chunks(selected, caps);
+  stats_.chunks_planned += static_cast<long>(plans.size());
+  std::vector<ChunkResult> results(plans.size());
+  const std::size_t threads = effective_solver_threads();
+  if (threads > 1 && plans.size() > 1) {
+    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads);
+    pool_->parallel_for(plans.size(), [&](std::size_t k) {
+      results[k] = solve_one(plans[k], ctx);
+    });
+  } else {
+    for (std::size_t k = 0; k < plans.size(); ++k)
+      results[k] = solve_one(plans[k], ctx);
   }
-  return decisions;
+  return commit(std::move(results), ctx);
 }
 
 }  // namespace ww::core

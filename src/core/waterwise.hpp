@@ -17,13 +17,47 @@
 // with penalty variables P_m entering the objective at weight sigma
 // (Eq. 12-13).  Estimates of execution time and energy come from the online
 // means the simulator learns — the controller never sees true per-job values.
+//
+// ## The plan -> solve -> commit pipeline
+//
+// Batches larger than `max_jobs_per_solve` decompose into independent chunk
+// MILPs.  Chunk solves are structured as a three-stage pipeline so they can
+// fan out across `util::ThreadPool` without any shared mutable state:
+//
+//   1. `plan_chunks()` partitions the window's remaining capacity into
+//      per-chunk quotas up front (proportional largest-remainder per region,
+//      repaired so every chunk's quota covers its job count).  Quotas are
+//      disjoint by construction, so concurrent chunks can never double-book
+//      a region.
+//   2. `solve_one()` is `const` and side-effect-free: it builds, presolves
+//      and branch-and-bounds one chunk against its private quota and returns
+//      a self-contained `ChunkResult` (decisions, a `SchedulerStats` delta,
+//      leftover quota, spill-eligible jobs).  Pure per-chunk work is what
+//      makes the fan-out sound at any thread count.
+//   3. `commit()` merges results in chunk-index order — the only stage that
+//      touches scheduler state — returns unused quota to a spill pool, and
+//      re-solves any spill-eligible remainder serially against that pool.
+//
+// Determinism contract: each `ChunkResult` is a pure function of its
+// `ChunkPlan` (the solver itself is deterministic and keeps no global
+// state), and the commit order is the chunk index, never completion order.
+// Decision streams and campaign aggregates are therefore byte-identical for
+// every `solver_threads` value; tests/core_scheduler_parallel_test.cpp,
+// bench_fig8/11/12's equivalence check, and bench_fig13's startup
+// self-check enforce it.
+//
+// Knobs: `WaterWiseConfig::solver_threads` (1 = serial, 0 = all cores) and
+// the `WW_SCHED_THREADS` environment switch, which overrides the config
+// process-wide (mirroring `WW_PRESOLVE` / `WW_REFACTOR_EVERY_PIVOT`).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "core/history.hpp"
 #include "dc/scheduler.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ww::core {
 
@@ -47,6 +81,11 @@ struct WaterWiseConfig {
   bool enable_slack_manager = true;     ///< Ablation knob.
   bool enable_history = true;           ///< Ablation knob.
   int max_jobs_per_solve = 400;  ///< Chunk very large batches for the solver.
+  /// Threads for the chunk MILP solves inside one batch window (the plan ->
+  /// solve -> commit pipeline): 1 = serial, 0 = all cores, N = fixed pool.
+  /// Results are byte-identical at every setting; the WW_SCHED_THREADS
+  /// environment switch overrides this process-wide.
+  int solver_threads = 1;
   milp::SolverOptions solver = [] {
     milp::SolverOptions o;
     // Scheduling batches must decide quickly; a best-incumbent answer at
@@ -61,6 +100,9 @@ struct WaterWiseConfig {
 /// Aggregate Decision-Controller solver diagnostics over the scheduler's
 /// lifetime: how many MILPs ran, how big the trees were, and how much of
 /// the tree the warm-start path covered (Fig. 13 overhead attribution).
+/// Mergeable: `solve_one()` fills one per chunk and `commit()` folds them
+/// into the scheduler's lifetime stats with `operator+=`, in chunk-index
+/// order, so accumulation is identical at every thread count.
 struct SchedulerStats {
   long milp_solves = 0;
   long soft_fallbacks = 0;       ///< Hard model failed, soft model ran.
@@ -81,6 +123,50 @@ struct SchedulerStats {
   long presolve_nonzeros_removed = 0;
   double presolve_seconds = 0.0;
   double solve_seconds = 0.0;    ///< Wall-clock inside milp::solve.
+  /// Plan/solve/commit pipeline counters: chunk plans produced, jobs routed
+  /// through the serial spill re-solve, and spill re-solves run.
+  long chunks_planned = 0;
+  long spill_jobs = 0;
+  long spill_resolves = 0;
+
+  /// Merges another stats delta (per-chunk result, or another scheduler's
+  /// lifetime stats) into this one.  All accumulation routes through here.
+  SchedulerStats& operator+=(const SchedulerStats& o) noexcept {
+    milp_solves += o.milp_solves;
+    soft_fallbacks += o.soft_fallbacks;
+    nodes_explored += o.nodes_explored;
+    simplex_iterations += o.simplex_iterations;
+    warm_started_nodes += o.warm_started_nodes;
+    phase1_nodes += o.phase1_nodes;
+    refactorizations += o.refactorizations;
+    ft_updates += o.ft_updates;
+    seeded_incumbents += o.seeded_incumbents;
+    presolve_rows_removed += o.presolve_rows_removed;
+    presolve_cols_removed += o.presolve_cols_removed;
+    presolve_nonzeros_removed += o.presolve_nonzeros_removed;
+    presolve_seconds += o.presolve_seconds;
+    solve_seconds += o.solve_seconds;
+    chunks_planned += o.chunks_planned;
+    spill_jobs += o.spill_jobs;
+    spill_resolves += o.spill_resolves;
+    return *this;
+  }
+
+  /// Folds one milp::solve outcome into the counters.
+  void add_solve(const milp::Solution& sol) noexcept {
+    ++milp_solves;
+    nodes_explored += sol.nodes_explored;
+    simplex_iterations += sol.simplex_iterations;
+    warm_started_nodes += sol.warm_started_nodes;
+    phase1_nodes += sol.phase1_nodes;
+    refactorizations += sol.refactorizations;
+    ft_updates += sol.ft_updates;
+    presolve_rows_removed += sol.presolve_rows_removed;
+    presolve_cols_removed += sol.presolve_cols_removed;
+    presolve_nonzeros_removed += sol.presolve_nonzeros_removed;
+    presolve_seconds += sol.presolve_seconds;
+    solve_seconds += sol.solve_seconds;
+  }
 
   /// Non-root branch-and-bound nodes across all solves (the population the
   /// warm-start path can cover); 0 when no tree ever branched.
@@ -99,6 +185,30 @@ struct SchedulerStats {
   }
 };
 
+/// One chunk's share of a batch window: the jobs it must decide and the
+/// per-region capacity quota reserved exclusively for it.  Quotas of the
+/// plans returned by one `plan_chunks()` call are disjoint and sum to the
+/// window's capacity, so no two chunks can place into the same server slot.
+struct ChunkPlan {
+  int index = 0;  ///< Commit order; chunk 0 holds the most-urgent jobs.
+  std::vector<const dc::PendingJob*> jobs;
+  std::vector<int> quota;  ///< Per-region slots this chunk alone may use.
+};
+
+/// Self-contained outcome of one pure chunk solve: everything `commit()`
+/// needs, nothing shared with any other chunk.
+struct ChunkResult {
+  int index = 0;
+  std::vector<dc::Decision> decisions;
+  /// Quota slots the solve did not consume; returned to the spill pool.
+  std::vector<int> leftover;
+  /// Jobs the chunk could not place (solver budget exhausted, or the
+  /// soft-disabled ablation hit an infeasible hard model): eligible for one
+  /// serial spill re-solve against the pooled leftover quota.
+  std::vector<const dc::PendingJob*> unplaced;
+  SchedulerStats stats;  ///< Per-chunk delta, merged by commit().
+};
+
 class WaterWiseScheduler final : public dc::Scheduler {
  public:
   explicit WaterWiseScheduler(WaterWiseConfig config = {});
@@ -114,29 +224,50 @@ class WaterWiseScheduler final : public dc::Scheduler {
   }
   /// Lifetime solver diagnostics (accumulated over every schedule() call).
   [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
-  /// Batches where the hard model failed and the soft model ran (Alg. 1
-  /// lines 10-11); diagnostic for tests and the ablation bench.
-  [[nodiscard]] long soft_fallbacks() const noexcept {
-    return stats_.soft_fallbacks;
-  }
-  [[nodiscard]] long milp_solves() const noexcept { return stats_.milp_solves; }
+
+  /// Thread count the chunk fan-out actually uses: WW_SCHED_THREADS when
+  /// set, else config().solver_threads, with 0 resolving to all cores.
+  [[nodiscard]] std::size_t effective_solver_threads() const noexcept;
+
+  // --- The plan -> solve -> commit pipeline (public for tests/benches). ---
+
+  /// Stage 1: splits `selected` (already urgency-ordered and capped at the
+  /// window's total capacity) into chunks of at most max_jobs_per_solve and
+  /// partitions `caps` into disjoint per-chunk quotas.  Each region is
+  /// apportioned proportionally to chunk sizes (largest remainder, ties to
+  /// the lower chunk index), then repaired so every chunk's quota total
+  /// covers its job count.  Pure: depends only on the arguments and config.
+  [[nodiscard]] std::vector<ChunkPlan> plan_chunks(
+      const std::vector<const dc::PendingJob*>& selected,
+      const std::vector<int>& caps) const;
+
+  /// Stage 2: solves one chunk against its private quota (hard model, then
+  /// the Algorithm-1 soft fallback) and extracts decisions.  Const and
+  /// side-effect-free — safe to run concurrently for different plans; all
+  /// diagnostics land in the returned ChunkResult.
+  [[nodiscard]] ChunkResult solve_one(const ChunkPlan& plan,
+                                      const dc::ScheduleContext& ctx) const;
+
+  /// Stage 3: merges results in chunk-index order (decisions, stats),
+  /// pools leftover quota, and re-solves spill-eligible jobs serially
+  /// against the pool.  The only stage that mutates scheduler state.
+  [[nodiscard]] std::vector<dc::Decision> commit(
+      std::vector<ChunkResult>&& results, const dc::ScheduleContext& ctx);
 
  private:
-  /// Solves one chunk of at most max_jobs_per_solve jobs against the
-  /// remaining capacity; appends decisions and decrements `caps`.
-  void solve_chunk(const std::vector<const dc::PendingJob*>& chunk,
-                   std::vector<int>& caps, const dc::ScheduleContext& ctx,
-                   std::vector<dc::Decision>& decisions);
-
-  /// Builds and solves Eq. 8-13 for the chunk; `soft` enables penalties.
+  /// Builds and solves Eq. 8-13 for the chunk against `quota`; `soft`
+  /// enables penalties.  Solver counters accumulate into `stats`.
   [[nodiscard]] milp::Solution run_model(
       const std::vector<const dc::PendingJob*>& chunk,
-      const std::vector<int>& caps, const dc::ScheduleContext& ctx, bool soft,
-      int* out_num_assign_vars);
+      const std::vector<int>& quota, const dc::ScheduleContext& ctx, bool soft,
+      int* out_num_assign_vars, SchedulerStats& stats) const;
 
   WaterWiseConfig config_;
   std::unique_ptr<HistoryLearner> history_;
   SchedulerStats stats_;
+  /// Lazily created on the first multi-chunk window when
+  /// effective_solver_threads() > 1; single-chunk windows never pay for it.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace ww::core

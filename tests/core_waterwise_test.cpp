@@ -165,7 +165,7 @@ TEST(WaterWise, UsesMilpSolver) {
   Rig rig;
   WaterWiseScheduler ww;
   (void)rig.run(ww);
-  EXPECT_GT(ww.milp_solves(), 0);
+  EXPECT_GT(ww.stats().milp_solves, 0);
 }
 
 TEST(WaterWise, SchedulerStatsAccumulateSolverCounters) {

@@ -15,6 +15,7 @@
 #include "milp/branch_and_bound.hpp"
 #include "milp/instances.hpp"
 #include "milp/model.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ww::milp {
 namespace {
@@ -108,6 +109,34 @@ TEST(MilpEquivalence, PureLpModesAgree) {
       ASSERT_EQ(sol.status, Status::Optimal) << tag;
       EXPECT_NEAR(sol.objective, ref.objective, 1e-7) << tag;
       EXPECT_LE(relaxed.max_violation(sol.values), 1e-6) << tag;
+    }
+  }
+}
+
+TEST(MilpEquivalence, ConcurrentSolvesMatchSerialBitwise) {
+  // The scheduler's plan/solve/commit pipeline fans independent chunk MILPs
+  // across util::ThreadPool, which is only sound if milp::solve keeps no
+  // shared mutable state: eight simultaneous solves of each corpus family
+  // must return bitwise the answer of a serial solve.  (The solver is
+  // deterministic, so "equal" here means ==, not within a tolerance.)
+  util::ThreadPool pool(4);
+  for (Instance& inst : corpus()) {
+    const Solution ref = solve(inst.model, mode_options(0xF));
+    ASSERT_EQ(ref.status, Status::Optimal) << inst.name;
+
+    constexpr std::size_t kConcurrent = 8;
+    std::vector<Solution> sols(kConcurrent);
+    pool.parallel_for(kConcurrent, [&](std::size_t i) {
+      sols[i] = solve(inst.model, mode_options(0xF));
+    });
+    for (std::size_t i = 0; i < kConcurrent; ++i) {
+      const std::string tag =
+          std::string(inst.name) + " concurrent #" + std::to_string(i);
+      EXPECT_EQ(sols[i].status, ref.status) << tag;
+      EXPECT_EQ(sols[i].objective, ref.objective) << tag;
+      EXPECT_EQ(sols[i].values, ref.values) << tag;
+      EXPECT_EQ(sols[i].nodes_explored, ref.nodes_explored) << tag;
+      EXPECT_EQ(sols[i].simplex_iterations, ref.simplex_iterations) << tag;
     }
   }
 }
