@@ -67,6 +67,9 @@ class EstimateDb {
     util::RunningStats exec;
     util::RunningStats energy;
   };
+  // Keyed by benchmark id; accessed via observe()/find() only, so the
+  // unspecified bucket order can never reach an estimate or an output.
+  // det-ok: lookup-only, never iterated
   std::unordered_map<int, Entry> entries_;
 };
 
@@ -126,6 +129,10 @@ CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
 
   EstimateDb estimates;
   std::vector<PendingJob> pending;
+  // Job-id -> trace-index translation for finish events; written on arrival,
+  // read with at() when a decision lands — never iterated, so bucket order
+  // cannot perturb the finish heap (which orders by time, not insertion).
+  // det-ok: lookup-only, never iterated
   std::unordered_map<std::uint64_t, std::size_t> job_index_by_id;
   std::priority_queue<FinishEvent, std::vector<FinishEvent>, std::greater<>>
       finish_heap;

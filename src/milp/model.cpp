@@ -56,7 +56,11 @@ void Model::set_variable_bounds(int var, double lower, double upper) {
 
 int Model::add_constraint(std::string name, std::vector<Term> terms,
                           Sense sense, double rhs) {
-  // Merge duplicate variables and drop exact zeros.
+  // Merge duplicate variables and drop exact zeros.  Per-key accumulation
+  // order follows the input term order, and `clean` below is re-sorted by
+  // variable index before it is stored, so the map's iteration order never
+  // reaches the constraint row.
+  // det-ok: output re-sorted by variable index below
   std::unordered_map<int, double> merged;
   for (const Term& t : terms) {
     if (t.var < 0 || t.var >= num_variables())

@@ -31,17 +31,18 @@ dc::CampaignRunner small_campaign(std::size_t jobs) {
     env_cfg.horizon_days = 3;
     const env::Environment env = env::Environment::builtin(env_cfg);
     const footprint::FootprintModel fp(env);
-    const auto jobs = trace::generate_trace(trace::borg_config(42, 0.05));
+    const auto trace_jobs =
+        trace::generate_trace(trace::borg_config(42, 0.05));
     dc::SimConfig sim_cfg;
     sim_cfg.tol = 0.5;
     sim_cfg.capacity_scale = capacity_scale;
     dc::Simulator sim(env, fp, sim_cfg);
     if (waterwise) {
       core::WaterWiseScheduler ww;
-      return sim.run(jobs, ww);
+      return sim.run(trace_jobs, ww);
     }
     sched::BaselineScheduler baseline;
-    return sim.run(jobs, baseline);
+    return sim.run(trace_jobs, baseline);
   };
 
   runner.add_baseline("", "Baseline", [=](dc::ScenarioContext&) {
@@ -197,7 +198,8 @@ TEST(CampaignRunner, ScenariosOverlapAcrossWorkers) {
   std::promise<void> a_started, b_started;
   auto a_future = a_started.get_future();
   auto b_future = b_started.get_future();
-  const auto wait_status = std::chrono::seconds(10);
+  const auto wait_status =
+      std::chrono::seconds(10);  // det-ok: liveness timeout, not a measurement
   runner.add("a", [&](dc::ScenarioContext&) {
     a_started.set_value();
     EXPECT_EQ(b_future.wait_for(wait_status), std::future_status::ready);

@@ -129,8 +129,8 @@ TEST_P(SchedulerInvariants, ConservationCapacityServiceDeterminism) {
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerInvariants,
                          ::testing::ValuesIn(combos()),
-                         [](const ::testing::TestParamInfo<Combo>& info) {
-                           std::string name = info.param.label;
+                         [](const ::testing::TestParamInfo<Combo>& param) {
+                           std::string name = param.param.label;
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c)))
                                c = '_';

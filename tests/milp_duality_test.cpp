@@ -112,11 +112,15 @@ TEST_P(DualityProperty, LagrangianIdentityAndSigns) {
     const auto& v = m.variable(j);
     const double x = sol.values[static_cast<std::size_t>(j)];
     const double d = sol.reduced_costs[static_cast<std::size_t>(j)];
-    if (x > v.lower + 1e-7 && x < v.upper - 1e-7) EXPECT_NEAR(d, 0.0, 1e-6);
-    if (std::abs(x - v.lower) <= 1e-9 && std::abs(x - v.upper) > 1e-9)
+    if (x > v.lower + 1e-7 && x < v.upper - 1e-7) {
+      EXPECT_NEAR(d, 0.0, 1e-6);
+    }
+    if (std::abs(x - v.lower) <= 1e-9 && std::abs(x - v.upper) > 1e-9) {
       EXPECT_GE(d, -1e-6);
-    if (std::abs(x - v.upper) <= 1e-9 && std::abs(x - v.lower) > 1e-9)
+    }
+    if (std::abs(x - v.upper) <= 1e-9 && std::abs(x - v.lower) > 1e-9) {
       EXPECT_LE(d, 1e-6);
+    }
   }
   for (const double y : sol.duals) EXPECT_LE(y, 1e-6);  // all rows are LE
 }

@@ -61,8 +61,9 @@ TEST_P(LpRandomProperty, FeasibleByConstructionSolvesOptimal) {
       const auto& v = m.variable(j);
       p.push_back(rng.uniform(v.lower, v.upper));
     }
-    if (m.max_violation(p) <= 1e-9)
+    if (m.max_violation(p) <= 1e-9) {
       EXPECT_LE(sol.objective, m.objective_value(p) + 1e-7);
+    }
   }
 }
 

@@ -228,10 +228,12 @@ TEST(WarmStart, BestBoundNeverOverstatesUnderIterationLimit) {
     opts.max_iterations = limit;
     const Solution sol = solve(m, opts);
     EXPECT_LE(sol.best_bound, true_opt + 1e-6) << "limit " << limit;
-    if (sol.status == Status::Optimal)
+    if (sol.status == Status::Optimal) {
       EXPECT_NEAR(sol.objective, true_opt, 1e-7) << "limit " << limit;
-    if (sol.has_incumbent)
+    }
+    if (sol.has_incumbent) {
       EXPECT_LE(m.max_violation(sol.values), 1e-6) << "limit " << limit;
+    }
   }
 }
 

@@ -125,7 +125,9 @@ TEST(BorgTrace, FieldsWellFormed) {
     EXPECT_LT(j.benchmark, num_benchmarks());
     EXPECT_GT(j.exec_seconds, 0.0);
     EXPECT_GT(j.energy_kwh(), 0.0);
-    if (i > 0) EXPECT_GE(j.submit_time, jobs[i - 1].submit_time);
+    if (i > 0) {
+      EXPECT_GE(j.submit_time, jobs[i - 1].submit_time);
+    }
   }
 }
 

@@ -1,0 +1,8 @@
+// PATH: src/dc/fixture.cpp
+// EXPECT: 8:bare-det-ok
+// EXPECT: 8:unordered-in-solver-path
+// Fixture: det-ok without a justification is itself a finding, and it
+// suppresses nothing — the annotation is a reviewed claim, not a mute
+// button, so the underlying ban still fires alongside it.
+#include <unordered_map>
+std::unordered_map<int, int> index;  // det-ok

@@ -1,0 +1,10 @@
+// PATH: src/env/fixture.cpp
+// EXPECT: 8:pointer-keyed-container
+// EXPECT: 9:pointer-keyed-container
+// Fixture: ordered containers keyed on pointers (allocation-order
+// iteration) — banned everywhere, not just in solver paths.
+#include <map>
+#include <set>
+std::map<const int*, double> weight_by_node;
+std::set<char*> live_buffers;
+std::map<long, double> fine_by_id;  // value-keyed: not a finding

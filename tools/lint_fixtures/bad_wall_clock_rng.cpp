@@ -1,0 +1,12 @@
+// PATH: src/sched/fixture.cpp
+// EXPECT: 9:wall-clock-or-adhoc-rng
+// EXPECT: 10:wall-clock-or-adhoc-rng
+// EXPECT: 11:wall-clock-or-adhoc-rng
+// EXPECT: 12:wall-clock-or-adhoc-rng
+// Fixture: ad-hoc randomness and wall-clock reads outside util/rng,timer.
+#include <chrono>
+
+int noisy_seed() { return rand(); }
+long stamp() { return time(nullptr); }
+unsigned hw_entropy_seed = std::random_device{}();
+auto t0 = std::chrono::steady_clock::now();

@@ -1,0 +1,20 @@
+// PATH: src/core/fixture.cpp
+// Fixture: every banned pattern either justified with det-ok or outside
+// the rule's scope — the lint must stay silent on all of it.
+#include <map>
+#include <unordered_map>
+
+// Annotated: lookup-only use, iteration order never observed.
+std::unordered_map<int, double> cache;  // det-ok: lookup-only, never iterated
+
+// The 80-column escape hatch: a comment-only det-ok line immediately above
+// the code line counts as the same annotation.
+// det-ok: lookup-only, never iterated
+std::unordered_map<long, double> wide_cache_with_a_longer_name_than_fits;
+
+// Comment-only and string-literal mentions are not code:
+// a std::thread here would be bad, and so would std::unordered_set.
+const char* kHelp = "seed with std::random_device for true entropy";
+
+// Value-keyed ordered containers are always fine.
+std::map<int, double> cost_by_region;
