@@ -30,11 +30,11 @@ int main() {
     Case no_soft = full;
     no_soft.label = "- soft constraints";
     no_soft.cfg.enable_soft_constraints = false;
-    // Without softening, every infeasible batch re-runs the (capped) hard
-    // probe each tick; keep the probe budget tiny so the degraded variant
-    // is measured by outcome, not by solver spin.
+    // Without softening, every infeasible batch re-runs the hard model each
+    // tick; keep the node budget tiny so the degraded variant is measured
+    // by outcome, not by solver spin.  (Deterministic budget only — the
+    // scheduler path neutralizes wall-clock limits.)
     no_soft.cfg.solver.max_nodes = 50;
-    no_soft.cfg.solver.time_limit_seconds = 0.02;
     cases.push_back(no_soft);
 
     Case no_slack = full;

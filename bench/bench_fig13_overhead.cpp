@@ -34,6 +34,11 @@ void report(const char* label, const ww::dc::CampaignResult& res,
   std::cout << "  pipeline: " << solver.chunks_planned << " chunk plans, "
             << solver.spill_resolves << " spill re-solves covering "
             << solver.spill_jobs << " job(s)\n";
+  std::cout << "  degradation: " << solver.fault_events << " fault events, "
+            << solver.degraded_windows << " degraded windows, "
+            << solver.solve_retries << " solve retries, "
+            << solver.fallback_placements << " fallback placements, "
+            << solver.deferred_jobs << " deferred job(s)\n";
   std::cout << "  presolve: " << solver.presolve_rows_removed << " rows, "
             << solver.presolve_cols_removed << " cols, "
             << solver.presolve_nonzeros_removed

@@ -15,6 +15,7 @@
 #include "core/waterwise.hpp"
 #include "dc/campaign_runner.hpp"
 #include "dc/simulator.hpp"
+#include "env/faults.hpp"
 #include "sched/basic.hpp"
 #include "sched/ecovisor.hpp"
 #include "sched/greedy_opt.hpp"
@@ -51,6 +52,11 @@ struct CampaignSpec {
   env::EnvironmentConfig env_config;
   double embodied_scale = 1.0;
   dc::SimConfig sim;  ///< tol/capacity_scale fields are overwritten.
+  /// Fault-injection campaign (borrowed; must outlive the run).  When set,
+  /// run_campaign attaches it to the simulator (effective capacities, true
+  /// World-view ledger) and builds a second biased Controller-view
+  /// environment/footprint pair for the scheduler to observe.
+  const env::FaultSchedule* faults = nullptr;
 };
 
 /// Runs one scheduler over one trace under one spec.  Builds a private
@@ -92,5 +98,11 @@ enum class Policy {
 [[nodiscard]] bool check_chunk_parallel_equivalence(
     const std::vector<trace::Job>& jobs, const CampaignSpec& spec,
     core::WaterWiseConfig ww_config = {});
+
+/// Prints the one-line degradation/fault summary for a WaterWise run:
+/// fault events, degraded windows, solve retries, fallback placements,
+/// deferred jobs (see core::SchedulerStats).
+void print_degradation_counters(const std::string& label,
+                                const core::SchedulerStats& stats);
 
 }  // namespace ww::bench

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/slack.hpp"
+#include "env/faults.hpp"
+#include "sched/greedy_opt.hpp"
 
 namespace ww::core {
 
@@ -32,6 +35,19 @@ std::optional<int> sched_threads_override() noexcept {
 
 }  // namespace
 
+double default_solve_failure_rate() noexcept {
+  static const double value = [] {
+    const char* v = std::getenv("WW_FAULT_SOLVES");
+    if (v == nullptr || *v == '\0') return 0.0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !(parsed >= 0.0) || parsed > 1.0)
+      return 0.0;
+    return parsed;
+  }();
+  return value;
+}
+
 WaterWiseScheduler::WaterWiseScheduler(WaterWiseConfig config)
     : config_(config) {
   if (config_.lambda_co2 < 0.0 || config_.lambda_h2o < 0.0)
@@ -54,7 +70,7 @@ std::size_t WaterWiseScheduler::effective_solver_threads() const noexcept {
 milp::Solution WaterWiseScheduler::run_model(
     const std::vector<const dc::PendingJob*>& chunk,
     const std::vector<int>& quota, const dc::ScheduleContext& ctx, bool soft,
-    int* out_num_assign_vars, SchedulerStats& stats) const {
+    long budget_scale, int* out_num_assign_vars, SchedulerStats& stats) const {
   const int m = static_cast<int>(chunk.size());
   const int n = static_cast<int>(quota.size());
   milp::Model model;
@@ -219,17 +235,33 @@ milp::Solution WaterWiseScheduler::run_model(
   }
 
   milp::SolverOptions options = config_.solver;
-  if (!soft) {
-    // The hard model is a feasibility probe: when its LP relaxation is
-    // fractionally feasible but no integral point exists (capacity overflow
-    // against tight delay rows), branch-and-bound would have to enumerate
-    // the tree to prove infeasibility.  Cap the probe's effort — an
-    // inconclusive probe falls through to the soft model (Algorithm 1,
-    // lines 10-11) exactly like a proven-infeasible one.
+  // Scheduler-path solver budgets are node/iteration counts only — a
+  // wall-clock cap would make the decision stream depend on machine speed
+  // and thread contention, breaking the byte-identity contract.
+  // det-ok: neutralizes the wall-clock limit; budgets are deterministic
+  options.time_limit_seconds = std::numeric_limits<double>::infinity();
+  if (budget_scale > 1) {
+    // Retry rung: relax the deterministic budgets (saturating multiply).
+    const long cap = std::numeric_limits<long>::max();
+    options.max_nodes = options.max_nodes > cap / budget_scale
+                            ? cap
+                            : options.max_nodes * budget_scale;
+    options.max_iterations = options.max_iterations > cap / budget_scale
+                                 ? cap
+                                 : options.max_iterations * budget_scale;
+  }
+  if (!soft && config_.enable_soft_constraints) {
+    // With softening enabled the hard model is a feasibility probe: when its
+    // LP relaxation is fractionally feasible but no integral point exists
+    // (capacity overflow against tight delay rows), branch-and-bound would
+    // have to enumerate the tree to prove infeasibility.  Cap the probe's
+    // effort — an inconclusive probe falls through to the soft model
+    // (Algorithm 1, lines 10-11) exactly like a proven-infeasible one.
     // A conservative (false-negative) probe is harmless: softening is
-    // always valid, so the probe gets a small budget.
+    // always valid, so the probe gets a small budget.  In the soft-disabled
+    // ablation the hard model is the primary model and keeps (scaled) full
+    // budgets, so the ladder's retry rung has headroom to use.
     options.max_nodes = std::min<long>(options.max_nodes, 200);
-    options.time_limit_seconds = std::min(options.time_limit_seconds, 0.5);
   }
 
   // Greedy seed incumbent: jobs most-constrained-first (longest estimated
@@ -405,48 +437,88 @@ std::vector<ChunkPlan> WaterWiseScheduler::plan_chunks(
 ChunkResult WaterWiseScheduler::solve_one(const ChunkPlan& plan,
                                           const dc::ScheduleContext& ctx)
     const {
+  if (config_.chunk_solve_hook) config_.chunk_solve_hook(plan.index);
   const int n = static_cast<int>(plan.quota.size());
   ChunkResult out;
   out.index = plan.index;
   out.leftover = plan.quota;
   int num_x = 0;
 
+  // Injected solve failure (WW_FAULT_SOLVES / config): a pure function of
+  // (seed, window, chunk, attempt), so the same campaign hits the same
+  // ladder rungs at every thread count.  A hit discards the rung's outcome
+  // exactly as a real solver crash would.
+  const auto injected = [&](int attempt) {
+    if (!env::injected_solve_failure(config_.fault_seed, ctx.now, plan.index,
+                                     attempt, config_.solve_failure_rate))
+      return false;
+    ++out.stats.fault_events;
+    return true;
+  };
+
+  // --- Retry-then-degrade ladder ------------------------------------------
+  // Rung 0: hard feasibility probe (soft-enabled path only).
+  // Rung 1: primary model (soft, or hard in the soft-disabled ablation).
+  // Rung 2: one retry of the primary model with relaxed node/iteration
+  //         budgets — skipped when the model is *proven* infeasible, since
+  //         a bigger tree can only re-prove it.
+  // Rung 3: guaranteed-feasible greedy placement against the chunk quota.
+  // Remainder: spill-eligible, then an explicit deferral — never a drop.
   milp::Solution sol;
+  bool proven_infeasible = false;
   if (config_.enable_soft_constraints) {
-    sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/false, &num_x,
-                    out.stats);
+    sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/false,
+                    /*budget_scale=*/1, &num_x, out.stats);
+    if (injected(0)) sol = milp::Solution{};
     if (!sol.usable()) {
       // Algorithm 1, lines 10-11: soften and retry.
       ++out.stats.soft_fallbacks;
-      sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/true, &num_x,
-                      out.stats);
+      sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/true,
+                      /*budget_scale=*/1, &num_x, out.stats);
+      if (injected(1)) sol = milp::Solution{};
     }
   } else {
-    sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/false, &num_x,
-                    out.stats);
+    sol = run_model(plan.jobs, plan.quota, ctx, /*soft=*/false,
+                    /*budget_scale=*/1, &num_x, out.stats);
+    proven_infeasible = sol.status == milp::Status::Infeasible;
+    // An injected failure loses the outcome *and* the infeasibility proof.
+    if (injected(1)) {
+      sol = milp::Solution{};
+      proven_infeasible = false;
+    }
   }
+
+  if (!sol.usable() && !proven_infeasible) {
+    ++out.stats.solve_retries;
+    sol = run_model(plan.jobs, plan.quota, ctx,
+                    /*soft=*/config_.enable_soft_constraints,
+                    config_.retry_budget_multiplier, &num_x, out.stats);
+    if (injected(2)) sol = milp::Solution{};
+  }
+
   if (!sol.usable()) {
-    if (!config_.enable_soft_constraints) {
-      // Degraded (ablation) mode: with softening disabled, an infeasible
-      // hard model would otherwise defer the whole chunk forever while the
-      // backlog grows.  Fall back to home placement for whatever fits the
-      // chunk's quota — the violations this causes are the ablation's
-      // measurement; the rest becomes spill-eligible.
-      for (const dc::PendingJob* p : plan.jobs) {
-        auto& home_quota =
-            out.leftover[static_cast<std::size_t>(p->job->home_region)];
-        if (home_quota <= 0) {
-          out.unplaced.push_back(p);
-          continue;
-        }
-        --home_quota;
-        out.decisions.push_back(
-            dc::Decision{p->job->id, p->job->home_region, ctx.now, 1.0});
+    // Rung 3: place what the quota admits via the deterministic greedy;
+    // delay violations are allowed exactly when the soft model would have
+    // traded them (the soft-disabled ablation keeps Eq. 11 hard, so there
+    // the greedy defers instead — the backlog is that ablation's
+    // measurement).  The remainder spills, then defers explicitly.
+    const std::vector<int> assign = sched::greedy_fallback_assign(
+        plan.jobs, out.leftover, ctx, config_.lambda_co2, config_.lambda_h2o,
+        config_.delay_estimate_margin,
+        /*allow_delay_violations=*/config_.enable_soft_constraints);
+    for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
+      const dc::PendingJob* p = plan.jobs[j];
+      const int r = assign[j];
+      if (r < 0) {
+        out.unplaced.push_back(p);
+        continue;
       }
-    } else {
-      // Solver budget exhausted with no incumbent: the whole chunk spills
-      // (one serial retry in commit(), then deferral to the next batch).
-      out.unplaced = plan.jobs;
+      --out.leftover[static_cast<std::size_t>(r)];
+      ++out.stats.fallback_placements;
+      const double start =
+          ctx.now + ctx.env->transfer_latency_seconds(p->job->home_region, r,
+                                                      p->job->package_bytes);
+      out.decisions.push_back(dc::Decision{p->job->id, r, start, 1.0});
     }
     return out;
   }
@@ -486,6 +558,16 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
               return a.index < b.index;
             });
 
+  // Fail fast on any chunk whose solve threw inside the pooled fan-out:
+  // surface the lowest-index failure with chunk/window context instead of
+  // committing a batch that silently lost a chunk's decisions.
+  for (const ChunkResult& r : results) {
+    if (r.error.empty()) continue;
+    throw std::runtime_error("WaterWise: chunk " + std::to_string(r.index) +
+                             " solve failed at window t=" +
+                             std::to_string(ctx.now) + ": " + r.error);
+  }
+
   std::vector<int> spill(results.front().leftover.size(), 0);
   std::vector<const dc::PendingJob*> unplaced;
   int next_index = 0;
@@ -500,7 +582,13 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
 
   long spill_total = 0;
   for (const int s : spill) spill_total += s;
-  if (unplaced.empty() || spill_total <= 0) return decisions;
+  if (unplaced.empty()) return decisions;
+  if (spill_total <= 0) {
+    // No pooled quota left: every unplaced job is an explicit deferral to
+    // the next batch window.
+    stats_.deferred_jobs += static_cast<long>(unplaced.size());
+    return decisions;
+  }
 
   // One serial spill re-solve: jobs no chunk placed get the pooled unused
   // quota, exactly as a serial scheduler with the same quotas would.  Jobs
@@ -508,6 +596,7 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
   // in the next batch window, matching the pre-pipeline deferral behavior.
   ChunkPlan rest;
   rest.index = next_index;
+  const long unplaced_total = static_cast<long>(unplaced.size());
   rest.jobs = std::move(unplaced);
   const auto spill_jobs = static_cast<std::size_t>(
       std::min<long>({static_cast<long>(rest.jobs.size()), spill_total,
@@ -517,9 +606,21 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
   rest.quota = std::move(spill);
   ++stats_.spill_resolves;
   stats_.spill_jobs += static_cast<long>(rest.jobs.size());
-  ChunkResult rr = solve_one(rest, ctx);
+  ChunkResult rr;
+  try {
+    rr = solve_one(rest, ctx);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("WaterWise: spill re-solve (chunk " +
+                             std::to_string(rest.index) +
+                             ") failed at window t=" + std::to_string(ctx.now) +
+                             ": " + e.what());
+  }
   stats_ += rr.stats;
   decisions.insert(decisions.end(), rr.decisions.begin(), rr.decisions.end());
+  // Whatever even the spill re-solve could not place defers explicitly:
+  // jobs truncated from the spill chunk plus the re-solve's own unplaced.
+  stats_.deferred_jobs +=
+      unplaced_total - static_cast<long>(rr.decisions.size());
   return decisions;
 }
 
@@ -544,12 +645,20 @@ std::vector<dc::Decision> WaterWiseScheduler::schedule(
   }
 
   std::vector<int> caps(static_cast<std::size_t>(n));
-  int total_cap = 0;
-  for (int r = 0; r < n; ++r) {
+  for (int r = 0; r < n; ++r)
     caps[static_cast<std::size_t>(r)] = ctx.capacity->free_at(r, ctx.now);
-    total_cap += caps[static_cast<std::size_t>(r)];
+  // Degraded-mode state machine: observe this window, clamp faulty regions'
+  // caps (serial — the machine is scheduler state, not chunk state).
+  update_region_health(ctx, caps);
+  int total_cap = 0;
+  for (const int c : caps) total_cap += c;
+  if (batch.empty()) return {};
+  if (total_cap <= 0) {
+    // Nothing placeable this window (e.g. a total outage): every pending
+    // job is an explicit deferral, re-examined next window.
+    stats_.deferred_jobs += static_cast<long>(batch.size());
+    return {};
   }
-  if (total_cap <= 0 || batch.empty()) return {};
 
   // Algorithm 1: oversubscription goes through the slack manager.
   std::vector<const dc::PendingJob*> selected;
@@ -564,23 +673,126 @@ std::vector<dc::Decision> WaterWiseScheduler::schedule(
     if (static_cast<int>(selected.size()) > total_cap)
       selected.resize(static_cast<std::size_t>(total_cap));
   }
+  // Jobs the slack manager (or cap truncation) left out defer explicitly.
+  stats_.deferred_jobs +=
+      static_cast<long>(batch.size()) - static_cast<long>(selected.size());
 
   // Plan -> solve -> commit: quota partition, pure per-chunk solves (fanned
   // across the pool when configured), deterministic in-order merge.
   std::vector<ChunkPlan> plans = plan_chunks(selected, caps);
   stats_.chunks_planned += static_cast<long>(plans.size());
   std::vector<ChunkResult> results(plans.size());
+  // Exception safety across the fan-out: a throwing chunk solve records its
+  // message in ChunkResult::error (never crosses the pool boundary raw);
+  // commit() re-throws the lowest-index failure with chunk/window context.
+  const auto guarded_solve = [&](std::size_t k) {
+    try {
+      results[k] = solve_one(plans[k], ctx);
+    } catch (const std::exception& e) {
+      results[k].index = plans[k].index;
+      results[k].error = e.what();
+    } catch (...) {
+      results[k].index = plans[k].index;
+      results[k].error = "unknown exception";
+    }
+  };
   const std::size_t threads = effective_solver_threads();
   if (threads > 1 && plans.size() > 1) {
     if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads);
-    pool_->parallel_for(plans.size(), [&](std::size_t k) {
-      results[k] = solve_one(plans[k], ctx);
-    });
+    pool_->parallel_for(plans.size(), guarded_solve);
   } else {
-    for (std::size_t k = 0; k < plans.size(); ++k)
-      results[k] = solve_one(plans[k], ctx);
+    for (std::size_t k = 0; k < plans.size(); ++k) guarded_solve(k);
   }
   return commit(std::move(results), ctx);
+}
+
+void WaterWiseScheduler::update_region_health(const dc::ScheduleContext& ctx,
+                                              std::vector<int>& caps) {
+  if (!config_.degraded.enabled) return;
+  const DegradedModeConfig& dm = config_.degraded;
+  const int n = ctx.capacity->num_regions();
+  health_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    RegionHealth& h = health_[static_cast<std::size_t>(r)];
+    const int cap_now = ctx.capacity->capacity(r);
+    const int prev_max = h.max_capacity_seen;
+    h.max_capacity_seen = std::max(h.max_capacity_seen, cap_now);
+
+    // Fault events this window: capacity below the best we have seen (an
+    // outage or flap is eating servers), or an observed intensity jump too
+    // steep for the smooth hourly-interpolated series (an injected forecast
+    // bias stepping in or out).
+    const bool capacity_reduced = prev_max > 0 && cap_now < prev_max;
+    const bool outage = prev_max > 0 && cap_now <= 0;
+    const double ci = ctx.env->carbon_intensity(r, ctx.now);
+    const double wi = ctx.env->water_intensity(r, ctx.now);
+    bool intensity_jump = false;
+    if (h.has_obs && ctx.now - h.last_obs_time <= dm.flap_window_s) {
+      const double ci_rel =
+          std::abs(ci - h.last_ci) / std::max(std::abs(h.last_ci), 1e-9);
+      const double wi_rel =
+          std::abs(wi - h.last_wi) / std::max(std::abs(h.last_wi), 1e-9);
+      intensity_jump = ci_rel > dm.intensity_jump_fraction ||
+                       wi_rel > dm.intensity_jump_fraction;
+    }
+    h.last_ci = ci;
+    h.last_wi = wi;
+    h.last_obs_time = ctx.now;
+    h.has_obs = true;
+
+    const bool event = capacity_reduced || intensity_jump;
+    if (event) {
+      ++stats_.fault_events;
+      h.event_score = std::min(h.event_score + 1, 1000);
+      h.clean_windows = 0;
+    } else {
+      ++h.clean_windows;
+    }
+
+    ++h.windows_in_state;
+    switch (h.state) {
+      case RegionHealth::State::Normal:
+        if (outage || h.event_score >= dm.degrade_after_events) {
+          h.state = RegionHealth::State::Degraded;
+          h.windows_in_state = 0;
+        }
+        break;
+      case RegionHealth::State::Degraded:
+        if (!event && !capacity_reduced &&
+            h.clean_windows >= dm.recover_after_clean) {
+          h.state = RegionHealth::State::Recovery;
+          h.windows_in_state = 0;
+          h.event_score = 0;
+        }
+        break;
+      case RegionHealth::State::Recovery:
+        if (event) {
+          h.state = RegionHealth::State::Degraded;
+          h.windows_in_state = 0;
+        } else if (h.windows_in_state >= dm.recovery_windows) {
+          h.state = RegionHealth::State::Normal;
+          h.windows_in_state = 0;
+        }
+        break;
+    }
+
+    // Hard-cap safety rails: a Degraded region takes almost no new work; a
+    // recovering one ramps back gradually instead of absorbing the whole
+    // backlog the moment the fault clears.
+    auto& cap_ref = caps[static_cast<std::size_t>(r)];
+    if (h.state == RegionHealth::State::Degraded) {
+      ++stats_.degraded_windows;
+      cap_ref = std::min(
+          cap_ref, static_cast<int>(std::floor(dm.degraded_cap_fraction *
+                                               static_cast<double>(cap_now))));
+    } else if (h.state == RegionHealth::State::Recovery) {
+      cap_ref = std::min(
+          cap_ref,
+          std::max(1, static_cast<int>(std::floor(
+                          dm.recovery_cap_fraction *
+                          static_cast<double>(cap_now)))));
+    }
+  }
 }
 
 }  // namespace ww::core

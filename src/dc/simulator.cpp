@@ -14,21 +14,36 @@ namespace ww::dc {
 
 namespace {
 
-/// CapacityView adapter over the simulator's timelines.
+/// CapacityView adapter over the simulator's timelines.  With an attached
+/// FaultSchedule the *effective* capacity is the nominal capacity scaled by
+/// the schedule's factor at the query instant (floored; an outage reads as
+/// 0), so schedulers observe outages and flaps the moment they query.
 class TimelineView final : public CapacityView {
  public:
-  explicit TimelineView(const std::vector<CapacityTimeline>* timelines)
-      : timelines_(timelines) {}
+  TimelineView(const std::vector<CapacityTimeline>* timelines,
+               const env::FaultSchedule* faults)
+      : timelines_(timelines), faults_(faults) {}
+
+  /// Batch tick; capacity(r) is evaluated at this instant.
+  void set_now(double now) noexcept { now_ = now; }
+
+  [[nodiscard]] int effective_capacity(int region, double t) const {
+    const int cap =
+        (*timelines_)[static_cast<std::size_t>(region)].capacity();
+    if (faults_ == nullptr) return cap;
+    return static_cast<int>(std::floor(static_cast<double>(cap) *
+                                       faults_->capacity_factor(region, t)));
+  }
 
   [[nodiscard]] int num_regions() const override {
     return static_cast<int>(timelines_->size());
   }
   [[nodiscard]] int capacity(int region) const override {
-    return (*timelines_)[static_cast<std::size_t>(region)].capacity();
+    return effective_capacity(region, now_);
   }
   [[nodiscard]] int free_at(int region, double t) const override {
     const auto& tl = (*timelines_)[static_cast<std::size_t>(region)];
-    return tl.capacity() - tl.occupancy_at(t);
+    return std::max(0, effective_capacity(region, t) - tl.occupancy_at(t));
   }
   [[nodiscard]] int max_occupancy(int region, double start,
                                   double end) const override {
@@ -38,6 +53,8 @@ class TimelineView final : public CapacityView {
 
  private:
   const std::vector<CapacityTimeline>* timelines_;
+  const env::FaultSchedule* faults_;
+  double now_ = 0.0;
 };
 
 /// Online per-benchmark mean estimates of execution time and energy.
@@ -119,7 +136,7 @@ CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
     timelines.reserve(caps.size());
     for (const int c : caps) timelines.emplace_back(c);
   }
-  const TimelineView view(&timelines);
+  TimelineView view(&timelines, faults_);
 
   CampaignResult result;
   result.scheduler_name = scheduler.name();
@@ -178,8 +195,12 @@ CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
       ScheduleContext ctx;
       ctx.now = now;
       ctx.tol = config_.tol;
-      ctx.env = env_;
-      ctx.footprint = footprint_;
+      // Under fault injection the controller observes the biased Controller
+      // view; the ledger below keeps integrating the true World view.
+      ctx.env = observed_env_ != nullptr ? observed_env_ : env_;
+      ctx.footprint =
+          observed_footprint_ != nullptr ? observed_footprint_ : footprint_;
+      view.set_now(now);
       ctx.capacity = &view;
 
       const util::Stopwatch watch;
@@ -207,7 +228,12 @@ CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
         const double start = std::max(d.start_time, earliest);
         const double end = start + duration;
         auto& tl = timelines[static_cast<std::size_t>(d.region)];
-        if (!tl.fits(start, end)) continue;  // capacity violated: stays pending
+        // Admission: peak occupancy over the run must stay below the
+        // effective capacity at the start instant (== tl.fits() without
+        // faults).  An active outage/flap gates new placements while jobs
+        // already on the servers drain through.
+        const int eff_cap = view.effective_capacity(d.region, start);
+        if (tl.max_occupancy(start, end) >= eff_cap) continue;  // stays pending
         tl.reserve(start, end);
 
         // --- ledger ---------------------------------------------------------

@@ -42,6 +42,23 @@ class Simulator {
   [[nodiscard]] CampaignResult run(const std::vector<trace::Job>& jobs,
                                    Scheduler& scheduler);
 
+  /// Attaches a fault-injection campaign (env/faults.hpp).  All pointers are
+  /// borrowed and must outlive the simulator.  `faults` drives the effective
+  /// per-region capacity (outages and flaps gate *new* placements; running
+  /// jobs drain through — degraded infrastructure stops accepting work, it
+  /// does not kill work in flight).  `observed_env` / `observed_fp`, when
+  /// given, replace the ScheduleContext's environment/footprint so the
+  /// controller sees the biased Controller view while the ledger keeps
+  /// integrating the true World view.  Pass nullptrs to detach.
+  void set_fault_injection(
+      const env::FaultSchedule* faults,
+      const env::Environment* observed_env = nullptr,
+      const footprint::FootprintModel* observed_fp = nullptr) noexcept {
+    faults_ = faults;
+    observed_env_ = observed_env;
+    observed_footprint_ = observed_fp;
+  }
+
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
   /// Effective server count per region after capacity scaling.
   [[nodiscard]] std::vector<int> region_capacities() const;
@@ -50,6 +67,9 @@ class Simulator {
   const env::Environment* env_;
   const footprint::FootprintModel* footprint_;
   SimConfig config_;
+  const env::FaultSchedule* faults_ = nullptr;
+  const env::Environment* observed_env_ = nullptr;
+  const footprint::FootprintModel* observed_footprint_ = nullptr;
 };
 
 }  // namespace ww::dc

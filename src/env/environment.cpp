@@ -55,23 +55,46 @@ int Environment::region_index(const std::string& name) const {
 }
 
 double Environment::carbon_intensity(int r, double t) const {
-  return config_.carbon_intensity_scale *
-         regions_.at(static_cast<std::size_t>(r)).mix->carbon_intensity(t);
+  double v = config_.carbon_intensity_scale *
+             regions_.at(static_cast<std::size_t>(r)).mix->carbon_intensity(t);
+  if (faults_ != nullptr && fault_view_ == FaultView::Controller)
+    v *= faults_->carbon_bias(r, t);
+  return v;
 }
 
 double Environment::ewif(int r, double t) const {
-  return config_.water_intensity_scale *
-         regions_.at(static_cast<std::size_t>(r))
-             .mix->ewif(t, config_.dataset);
+  double v = config_.water_intensity_scale *
+             regions_.at(static_cast<std::size_t>(r))
+                 .mix->ewif(t, config_.dataset);
+  if (faults_ != nullptr && fault_view_ == FaultView::Controller)
+    v *= faults_->water_bias(r, t);
+  return v;
 }
 
 double Environment::wue(int r, double t) const {
-  return config_.water_intensity_scale *
-         regions_.at(static_cast<std::size_t>(r)).weather->wue(t);
+  double v = config_.water_intensity_scale *
+             regions_.at(static_cast<std::size_t>(r)).weather->wue(t);
+  if (faults_ != nullptr && fault_view_ == FaultView::Controller)
+    v *= faults_->water_bias(r, t);
+  return v;
 }
 
 double Environment::wsf(int r) const {
   return regions_.at(static_cast<std::size_t>(r)).spec.wsf;
+}
+
+double Environment::wsf(int r, double t) const {
+  double v = regions_.at(static_cast<std::size_t>(r)).spec.wsf;
+  // Scarcity shocks are world-level: a drought raises the true Eq. 6
+  // weighting, so both the ledger and the controller see it.
+  if (faults_ != nullptr) v += faults_->wsf_shock(r, t);
+  return v;
+}
+
+void Environment::attach_faults(const FaultSchedule* faults,
+                                FaultView view) noexcept {
+  faults_ = faults;
+  fault_view_ = view;
 }
 
 double Environment::pue(int r) const {
@@ -80,7 +103,7 @@ double Environment::pue(int r) const {
 
 double Environment::water_intensity(int r, double t) const {
   // Eq. 6: (WUE + PUE * EWIF) * (1 + WSF).
-  return (wue(r, t) + pue(r) * ewif(r, t)) * (1.0 + wsf(r));
+  return (wue(r, t) + pue(r) * ewif(r, t)) * (1.0 + wsf(r, t));
 }
 
 double Environment::electricity_price(int r, double t) const {

@@ -15,12 +15,22 @@
 #include <vector>
 
 #include "env/energy_mix.hpp"
+#include "env/faults.hpp"
 #include "env/latency.hpp"
 #include "env/region.hpp"
 #include "env/weather.hpp"
 #include "util/rng.hpp"
 
 namespace ww::env {
+
+/// Which side of a fault campaign this Environment instance models.
+///
+/// World: the ground truth the simulator's ledger integrates — only
+/// world-level faults apply (water-scarcity shocks; capacity faults are
+/// consumed by the Simulator, not the Environment).
+/// Controller: what the scheduler observes — world-level faults *plus* the
+/// systematic forecast-bias multipliers on carbon/water intensities.
+enum class FaultView { World, Controller };
 
 struct EnvironmentConfig {
   std::uint64_t seed = 20250612;
@@ -59,12 +69,26 @@ class Environment {
   [[nodiscard]] double ewif(int r, double t) const;
   /// Water usage effectiveness (cooling), L/kWh.
   [[nodiscard]] double wue(int r, double t) const;
-  /// Water scarcity factor (dimensionless).
+  /// Water scarcity factor (dimensionless, base spec value).
   [[nodiscard]] double wsf(int r) const;
+  /// Water scarcity factor at instant t: the base value plus any active
+  /// injected scarcity shock (identical to wsf(r) without attached faults).
+  [[nodiscard]] double wsf(int r, double t) const;
   /// Power usage effectiveness.
   [[nodiscard]] double pue(int r) const;
   /// Water intensity, Eq. 6: (WUE + PUE * EWIF) * (1 + WSF).
   [[nodiscard]] double water_intensity(int r, double t) const;
+
+  /// Attaches a fault-injection overlay (env/faults.hpp).  The schedule is
+  /// borrowed, not owned — the caller keeps it alive for the Environment's
+  /// lifetime.  World view applies only world-level faults (WSF shocks);
+  /// Controller view additionally biases the observed carbon/water
+  /// intensities.  Pass nullptr to detach.
+  void attach_faults(const FaultSchedule* faults,
+                     FaultView view = FaultView::World) noexcept;
+  [[nodiscard]] const FaultSchedule* faults() const noexcept {
+    return faults_;
+  }
 
   /// Time-of-use electricity price, USD/kWh (Sec. 7 cost extension):
   /// the region's base tariff with a +-25% peak/off-peak swing.
@@ -100,6 +124,8 @@ class Environment {
   std::vector<RegionRuntime> regions_;
   std::unique_ptr<TransferModel> transfer_;
   EnvironmentConfig config_;
+  const FaultSchedule* faults_ = nullptr;  ///< Borrowed; see attach_faults.
+  FaultView fault_view_ = FaultView::World;
 };
 
 }  // namespace ww::env

@@ -21,7 +21,7 @@ FootprintModel::FootprintModel(const env::Environment& env, ServerSpec server,
 Breakdown FootprintModel::operational_at(int r, double t,
                                          double energy_kwh) const {
   Breakdown b;
-  const double scarcity = 1.0 + env_->wsf(r);
+  const double scarcity = 1.0 + env_->wsf(r, t);
   b.operational_carbon_g = energy_kwh * env_->carbon_intensity(r, t);
   b.offsite_water_l = env_->pue(r) * energy_kwh * env_->ewif(r, t) * scarcity;
   b.onsite_water_l = energy_kwh * env_->wue(r, t) * scarcity;

@@ -133,6 +133,10 @@ TEST_P(ObjectiveEnumeration, MilpMatchesBruteForce) {
   ctx.capacity = &cap;
 
   WaterWiseConfig cfg;
+  // This test asserts the MILP reaches the brute-force optimum; an injected
+  // solve failure (WW_FAULT_SOLVES fault-mode sweep) would legitimately
+  // route the chunk to the greedy fallback, which only approximates it.
+  cfg.solve_failure_rate = 0.0;
   WaterWiseScheduler ww(cfg);
   const auto decisions = ww.schedule(batch, ctx);
 

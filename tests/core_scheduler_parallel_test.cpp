@@ -13,6 +13,7 @@
 
 #include "core/waterwise.hpp"
 #include "dc/simulator.hpp"
+#include "env/faults.hpp"
 #include "trace/generator.hpp"
 #include "util/rng.hpp"
 
@@ -340,12 +341,19 @@ TEST(ChunkParallel, StatsMergeIsFieldwiseAddition) {
   a.simplex_iterations = 100;
   a.solve_seconds = 0.5;
   a.chunks_planned = 2;
+  a.fault_events = 2;
+  a.solve_retries = 1;
   SchedulerStats b;
   b.milp_solves = 2;
   b.nodes_explored = 4;
   b.spill_resolves = 1;
   b.spill_jobs = 3;
   b.presolve_rows_removed = 7;
+  b.fault_events = 3;
+  b.degraded_windows = 4;
+  b.solve_retries = 2;
+  b.fallback_placements = 5;
+  b.deferred_jobs = 6;
   a += b;
   EXPECT_EQ(a.milp_solves, 5);
   EXPECT_EQ(a.soft_fallbacks, 1);
@@ -356,6 +364,74 @@ TEST(ChunkParallel, StatsMergeIsFieldwiseAddition) {
   EXPECT_EQ(a.presolve_rows_removed, 7);
   EXPECT_EQ(a.chunks_planned, 2);
   EXPECT_DOUBLE_EQ(a.solve_seconds, 0.5);
+  EXPECT_EQ(a.fault_events, 5);
+  EXPECT_EQ(a.degraded_windows, 4);
+  EXPECT_EQ(a.solve_retries, 3);
+  EXPECT_EQ(a.fallback_placements, 5);
+  EXPECT_EQ(a.deferred_jobs, 6);
+}
+
+TEST(ChunkParallel, FaultCampaignByteIdenticalAcrossThreadsAndPresolve) {
+  // The fault-determinism acceptance bar: with a generated FaultSchedule
+  // attached (outages + forecast bias) AND injected solve failures layered
+  // on top, a full simulator campaign must still produce byte-identical
+  // per-job streams and aggregates for solver_threads {1, 2, 4} x presolve
+  // on/off.
+  env::FaultScheduleConfig fault_cfg;
+  fault_cfg.seed = 31337;
+  fault_cfg.horizon_seconds = 6.0 * 3600.0;
+  fault_cfg.outages_per_region_day = 8.0;
+  fault_cfg.bias_windows_per_region_day = 6.0;
+  const env::FaultSchedule faults(fault_cfg);
+
+  env::Environment world = env::Environment::builtin(small_env());
+  world.attach_faults(&faults, env::FaultView::World);
+  env::Environment observed = env::Environment::builtin(small_env());
+  observed.attach_faults(&faults, env::FaultView::Controller);
+  const footprint::FootprintModel world_fp(world);
+  const footprint::FootprintModel observed_fp(observed);
+
+  const auto jobs = burst_trace(50, 0.0);
+  dc::SimConfig sim_cfg;
+  sim_cfg.tol = 0.5;
+  sim_cfg.record_jobs = true;
+
+  auto run = [&](int threads, bool presolve) {
+    WaterWiseConfig cfg;
+    cfg.max_jobs_per_solve = 7;
+    cfg.solver_threads = threads;
+    cfg.solver.presolve = presolve;
+    cfg.solve_failure_rate = 0.35;
+    cfg.fault_seed = fault_cfg.seed;
+    WaterWiseScheduler ww(cfg);
+    dc::Simulator sim(world, world_fp, sim_cfg);
+    sim.set_fault_injection(&faults, &observed, &observed_fp);
+    return sim.run(jobs, ww);
+  };
+
+  const dc::CampaignResult ref = run(1, true);
+  EXPECT_EQ(ref.num_jobs, 50);
+  for (const int threads : {1, 2, 4}) {
+    for (const bool presolve : {true, false}) {
+      const dc::CampaignResult res = run(threads, presolve);
+      const std::string tag = "threads=" + std::to_string(threads) +
+                              (presolve ? " presolve" : " raw");
+      EXPECT_EQ(res.num_jobs, ref.num_jobs) << tag;
+      EXPECT_EQ(res.total_carbon_g, ref.total_carbon_g) << tag;
+      EXPECT_EQ(res.total_water_l, ref.total_water_l) << tag;
+      EXPECT_EQ(res.violations, ref.violations) << tag;
+      EXPECT_EQ(res.jobs_per_region, ref.jobs_per_region) << tag;
+      EXPECT_EQ(res.makespan_seconds, ref.makespan_seconds) << tag;
+      ASSERT_EQ(res.jobs.size(), ref.jobs.size()) << tag;
+      for (std::size_t i = 0; i < ref.jobs.size(); ++i) {
+        EXPECT_EQ(res.jobs[i].job_id, ref.jobs[i].job_id) << tag;
+        EXPECT_EQ(res.jobs[i].exec_region, ref.jobs[i].exec_region)
+            << tag << " job " << i;
+        EXPECT_EQ(res.jobs[i].start_time, ref.jobs[i].start_time)
+            << tag << " job " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

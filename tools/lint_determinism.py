@@ -5,7 +5,7 @@ The repo's standing invariant (ROADMAP.md) is that campaign aggregates are
 byte-identical across thread counts and ablation switches.  clang-tidy and
 the sanitizers catch races and UB, but not the *sources* of run-to-run
 divergence this codebase has actually been bitten by.  This lint enforces
-four repo-specific bans, each escapable only by an explicit justification
+five repo-specific bans, each escapable only by an explicit justification
 comment on the offending line (or, when the 80-column limit forces it, a
 comment-only line immediately above):
 
@@ -40,6 +40,14 @@ raw-thread-or-async
     plan/solve/commit pipeline stays the single place where concurrency is
     reasoned about; ad-hoc threads are where completion-order commits sneak
     in.
+
+solver-path-time-limit
+    Assigning `time_limit_seconds` in the scheduler paths (src/core,
+    src/dc) is banned without a det-ok justification.  A wall-clock solver
+    budget lets machine load decide where branch-and-bound truncates, which
+    changes decision streams run to run; scheduler-path solves must bound
+    work with deterministic node/iteration budgets instead.  The milp
+    library itself, tests, and benches may still set wall-clock limits.
 
 A bare `// det-ok` with no justification text is itself an error: the
 annotation is a reviewed claim, not a mute button.
@@ -86,6 +94,12 @@ PTR_KEYED_RE = re.compile(
     r"\s*\*"
 )
 RAW_THREAD_RE = re.compile(r"std::(?:jthread\b|thread\b(?!_)|async\b)")
+# Assignment only (`=`, not `==`): reading or comparing the limit is fine.
+TIME_LIMIT_RE = re.compile(r"\btime_limit_seconds\s*=(?!=)")
+
+# Rule 5 applies to the scheduler paths, where solves must be budgeted in
+# nodes/iterations (src/milp itself implements the limit and is exempt).
+TIME_LIMIT_PATHS = ("src/core", "src/dc")
 
 # Lines that merely name a header or appear in comments/strings are not
 # findings; this lint keys on code, so strip comments and string literals
@@ -97,6 +111,7 @@ RULES = (
     "wall-clock-or-adhoc-rng",
     "pointer-keyed-container",
     "raw-thread-or-async",
+    "solver-path-time-limit",
 )
 
 
@@ -163,6 +178,7 @@ def in_any(rel: str, prefixes) -> bool:
 def lint_file(rel: str, text: str) -> list[Finding]:
     findings: list[Finding] = []
     in_solver_path = in_any(rel, SOLVER_PATHS)
+    in_time_limit_path = in_any(rel, TIME_LIMIT_PATHS)
     wallclock_allowed = in_any(rel, WALLCLOCK_ALLOWED)
     thread_allowed = in_any(rel, THREAD_ALLOWED)
 
@@ -219,6 +235,13 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "raw std::thread/std::async outside util/thread_pool.*; "
                 "fan out through util::ThreadPool so commit order stays "
                 "deterministic, or justify with '// det-ok: ...'")
+        if in_time_limit_path and TIME_LIMIT_RE.search(code):
+            report(
+                "solver-path-time-limit",
+                "wall-clock solver budget assigned in a scheduler path; "
+                "machine load would decide where the tree truncates — bound "
+                "the solve with deterministic node/iteration budgets, or "
+                "justify with '// det-ok: ...'")
     return findings
 
 

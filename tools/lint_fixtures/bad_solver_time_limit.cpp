@@ -1,0 +1,14 @@
+// PATH: src/core/fixture.cpp
+// EXPECT: 9:solver-path-time-limit
+// EXPECT: 11:solver-path-time-limit
+// Fixture: wall-clock solver budgets in a scheduler path — machine load
+// would decide where branch-and-bound truncates.  Both the default member
+// init and the clamp are findings; reading/comparing the limit is fine,
+// and a justified neutralization is waived.
+struct Opts {
+  double time_limit_seconds = 0.0;
+};
+void clamp(Opts& o) { o.time_limit_seconds = 0.02; }
+bool expired(const Opts& o, double t) { return t > o.time_limit_seconds; }
+// det-ok: neutralizes the wall-clock limit; budgets are deterministic
+void neutralize(Opts& o) { o.time_limit_seconds = 1e300; }
