@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ww::bench {
@@ -182,6 +184,51 @@ void print_degradation_counters(const std::string& label,
             << stats.solve_retries << " fallback_placements="
             << stats.fallback_placements << " deferred_jobs="
             << stats.deferred_jobs << "\n";
+}
+
+void print_service_metrics(const std::string& label,
+                           const obs::Registry& registry) {
+  const util::Histogram* lat =
+      registry.find_hist("service.decision_latency_s");
+  const util::Histogram* depth = registry.find_hist("service.queue_depth");
+  const util::Histogram* adm =
+      registry.find_hist("service.time_to_admission_s");
+  const std::uint64_t* windows = registry.find_counter("sched.windows");
+  if (lat == nullptr || depth == nullptr || adm == nullptr) {
+    std::cout << "[service] " << label << ": no service metrics registered\n";
+    return;
+  }
+  std::cout << "[service] " << label << ": decision latency p50/p95/p99 = "
+            << util::Table::fixed(lat->quantile(0.50) * 1000.0, 3) << "/"
+            << util::Table::fixed(lat->quantile(0.95) * 1000.0, 3) << "/"
+            << util::Table::fixed(lat->quantile(0.99) * 1000.0, 3)
+            << " ms over " << (windows != nullptr ? *windows : 0)
+            << " window(s)\n";
+  std::cout << "[service] " << label << ": queue depth p50/p99 = "
+            << util::Table::fixed(depth->quantile(0.50), 1) << "/"
+            << util::Table::fixed(depth->quantile(0.99), 1)
+            << " job(s); time-to-admission p50/p99 = "
+            << util::Table::fixed(adm->quantile(0.50), 1) << "/"
+            << util::Table::fixed(adm->quantile(0.99), 1) << " s over "
+            << adm->total() << " placement(s)\n";
+}
+
+bool export_trace_if_enabled(const std::string& metrics_json) {
+  obs::Trace& trace = obs::Trace::instance();
+  if (!obs::Trace::enabled()) return false;
+  {
+    std::ofstream out(trace.output_path());
+    trace.write_chrome_json(out);
+  }
+  {
+    std::ofstream out(trace.metrics_path());
+    out << metrics_json;
+  }
+  std::cout << "[trace] wrote " << trace.event_count() << " event(s) from "
+            << trace.thread_count() << " thread(s) to " << trace.output_path()
+            << " (metrics: " << trace.metrics_path() << ", dropped "
+            << trace.dropped_events() << ")\n";
+  return true;
 }
 
 }  // namespace ww::bench

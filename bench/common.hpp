@@ -105,4 +105,16 @@ enum class Policy {
 void print_degradation_counters(const std::string& label,
                                 const core::SchedulerStats& stats);
 
+/// Prints the service-level metrics panel (ROADMAP item 4) from a WaterWise
+/// scheduler's registry: per-window decision-latency p50/p95/p99, queue
+/// depth, and time-to-admission.  Latency is wall-clock (observational);
+/// queue depth and time-to-admission are deterministic.
+void print_service_metrics(const std::string& label,
+                           const obs::Registry& registry);
+
+/// When WW_TRACE enabled tracing: writes the buffered Chrome trace JSON to
+/// obs::Trace::output_path() and `metrics_json` to metrics_path(), prints a
+/// one-line summary, and returns true.  No-op (false) when tracing is off.
+bool export_trace_if_enabled(const std::string& metrics_json);
+
 }  // namespace ww::bench

@@ -10,7 +10,9 @@
 
 #include "core/slack.hpp"
 #include "env/faults.hpp"
+#include "obs/trace.hpp"
 #include "sched/greedy_opt.hpp"
+#include "util/timer.hpp"
 
 namespace ww::core {
 
@@ -58,6 +60,102 @@ WaterWiseScheduler::WaterWiseScheduler(WaterWiseConfig config)
   // The paper requires the weights to sum to one; normalize defensively.
   config_.lambda_co2 /= sum;
   config_.lambda_h2o /= sum;
+  register_metrics();
+  if (config_.trace) obs::Trace::instance().set_enabled(true);
+}
+
+void WaterWiseScheduler::register_metrics() {
+  auto& r = registry_;
+  handles_.milp_solves = r.counter("sched.milp_solves");
+  handles_.soft_fallbacks = r.counter("sched.soft_fallbacks");
+  handles_.nodes_explored = r.counter("sched.nodes_explored");
+  handles_.simplex_iterations = r.counter("sched.simplex_iterations");
+  handles_.warm_started_nodes = r.counter("sched.warm_started_nodes");
+  handles_.phase1_nodes = r.counter("sched.phase1_nodes");
+  handles_.refactorizations = r.counter("sched.refactorizations");
+  handles_.ft_updates = r.counter("sched.ft_updates");
+  handles_.seeded_incumbents = r.counter("sched.seeded_incumbents");
+  handles_.presolve_rows_removed = r.counter("sched.presolve_rows_removed");
+  handles_.presolve_cols_removed = r.counter("sched.presolve_cols_removed");
+  handles_.presolve_nonzeros_removed =
+      r.counter("sched.presolve_nonzeros_removed");
+  handles_.chunks_planned = r.counter("sched.chunks_planned");
+  handles_.spill_jobs = r.counter("sched.spill_jobs");
+  handles_.spill_resolves = r.counter("sched.spill_resolves");
+  handles_.fault_events = r.counter("sched.fault_events");
+  handles_.degraded_windows = r.counter("sched.degraded_windows");
+  handles_.solve_retries = r.counter("sched.solve_retries");
+  handles_.fallback_placements = r.counter("sched.fallback_placements");
+  handles_.deferred_jobs = r.counter("sched.deferred_jobs");
+  handles_.windows = r.counter("sched.windows");
+  handles_.presolve_seconds = r.gauge("sched.presolve_seconds");
+  handles_.solve_seconds = r.gauge("sched.solve_seconds");
+  // Service-level distributions (ROADMAP item 4).  decision_latency is
+  // wall-clock and observational; queue_depth and time_to_admission are
+  // sim-time/count based and byte-deterministic.
+  handles_.decision_latency_s =
+      r.histogram("service.decision_latency_s", 0.0, 2.0, 80);
+  handles_.queue_depth = r.histogram("service.queue_depth", 0.0, 2048.0, 64);
+  handles_.time_to_admission_s =
+      r.histogram("service.time_to_admission_s", 0.0, 3600.0, 72);
+}
+
+void WaterWiseScheduler::fold_stats(const SchedulerStats& delta) {
+  const auto add = [this](obs::Counter c, long v) {
+    if (v > 0) registry_.add(c, static_cast<std::uint64_t>(v));
+  };
+  add(handles_.milp_solves, delta.milp_solves);
+  add(handles_.soft_fallbacks, delta.soft_fallbacks);
+  add(handles_.nodes_explored, delta.nodes_explored);
+  add(handles_.simplex_iterations, delta.simplex_iterations);
+  add(handles_.warm_started_nodes, delta.warm_started_nodes);
+  add(handles_.phase1_nodes, delta.phase1_nodes);
+  add(handles_.refactorizations, delta.refactorizations);
+  add(handles_.ft_updates, delta.ft_updates);
+  add(handles_.seeded_incumbents, delta.seeded_incumbents);
+  add(handles_.presolve_rows_removed, delta.presolve_rows_removed);
+  add(handles_.presolve_cols_removed, delta.presolve_cols_removed);
+  add(handles_.presolve_nonzeros_removed, delta.presolve_nonzeros_removed);
+  add(handles_.chunks_planned, delta.chunks_planned);
+  add(handles_.spill_jobs, delta.spill_jobs);
+  add(handles_.spill_resolves, delta.spill_resolves);
+  add(handles_.fault_events, delta.fault_events);
+  add(handles_.degraded_windows, delta.degraded_windows);
+  add(handles_.solve_retries, delta.solve_retries);
+  add(handles_.fallback_placements, delta.fallback_placements);
+  add(handles_.deferred_jobs, delta.deferred_jobs);
+  registry_.add(handles_.presolve_seconds, delta.presolve_seconds);
+  registry_.add(handles_.solve_seconds, delta.solve_seconds);
+}
+
+const SchedulerStats& WaterWiseScheduler::stats() const {
+  const auto get = [this](obs::Counter c) {
+    return static_cast<long>(registry_.counter_value(c));
+  };
+  SchedulerStats& s = stats_view_;
+  s.milp_solves = get(handles_.milp_solves);
+  s.soft_fallbacks = get(handles_.soft_fallbacks);
+  s.nodes_explored = get(handles_.nodes_explored);
+  s.simplex_iterations = get(handles_.simplex_iterations);
+  s.warm_started_nodes = get(handles_.warm_started_nodes);
+  s.phase1_nodes = get(handles_.phase1_nodes);
+  s.refactorizations = get(handles_.refactorizations);
+  s.ft_updates = get(handles_.ft_updates);
+  s.seeded_incumbents = get(handles_.seeded_incumbents);
+  s.presolve_rows_removed = get(handles_.presolve_rows_removed);
+  s.presolve_cols_removed = get(handles_.presolve_cols_removed);
+  s.presolve_nonzeros_removed = get(handles_.presolve_nonzeros_removed);
+  s.chunks_planned = get(handles_.chunks_planned);
+  s.spill_jobs = get(handles_.spill_jobs);
+  s.spill_resolves = get(handles_.spill_resolves);
+  s.fault_events = get(handles_.fault_events);
+  s.degraded_windows = get(handles_.degraded_windows);
+  s.solve_retries = get(handles_.solve_retries);
+  s.fallback_placements = get(handles_.fallback_placements);
+  s.deferred_jobs = get(handles_.deferred_jobs);
+  s.presolve_seconds = registry_.gauge_value(handles_.presolve_seconds);
+  s.solve_seconds = registry_.gauge_value(handles_.solve_seconds);
+  return stats_view_;
 }
 
 std::size_t WaterWiseScheduler::effective_solver_threads() const noexcept {
@@ -442,7 +540,26 @@ ChunkResult WaterWiseScheduler::solve_one(const ChunkPlan& plan,
   ChunkResult out;
   out.index = plan.index;
   out.leftover = plan.quota;
+  out.shard = registry_.make_shard();
   int num_x = 0;
+
+  obs::Span span("sched.chunk_solve");
+  span.arg("chunk", plan.index);
+  span.arg("jobs", plan.jobs.size());
+  // Retry-ladder rung that produced the chunk's placements: 1 = primary
+  // MILP, 2 = relaxed-budget retry, 3 = greedy fallback.  Annotated on the
+  // span together with the per-solve solver counters.
+  int rung = 1;
+  const auto annotate = [&span, &out](int final_rung) {
+    span.arg("rung", final_rung);
+    span.arg("milp_solves", out.stats.milp_solves);
+    span.arg("simplex_iterations", out.stats.simplex_iterations);
+    span.arg("nodes_explored", out.stats.nodes_explored);
+    span.arg("ft_updates", out.stats.ft_updates);
+    span.arg("presolve_rows_removed", out.stats.presolve_rows_removed);
+    span.arg("retries", out.stats.solve_retries);
+    span.arg("decisions", out.decisions.size());
+  };
 
   // Injected solve failure (WW_FAULT_SOLVES / config): a pure function of
   // (seed, window, chunk, attempt), so the same campaign hits the same
@@ -494,6 +611,7 @@ ChunkResult WaterWiseScheduler::solve_one(const ChunkPlan& plan,
                     /*soft=*/config_.enable_soft_constraints,
                     config_.retry_budget_multiplier, &num_x, out.stats);
     if (injected(2)) sol = milp::Solution{};
+    if (sol.usable()) rung = 2;
   }
 
   if (!sol.usable()) {
@@ -519,7 +637,10 @@ ChunkResult WaterWiseScheduler::solve_one(const ChunkPlan& plan,
           ctx.now + ctx.env->transfer_latency_seconds(p->job->home_region, r,
                                                       p->job->package_bytes);
       out.decisions.push_back(dc::Decision{p->job->id, r, start, 1.0});
+      // Sim-time wait from first sighting to admission: deterministic.
+      out.shard.observe(handles_.time_to_admission_s, ctx.now - p->first_seen);
     }
+    annotate(3);
     return out;
   }
 
@@ -544,12 +665,16 @@ ChunkResult WaterWiseScheduler::solve_one(const ChunkPlan& plan,
                                        p.job->home_region, chosen,
                                        p.job->package_bytes);
     out.decisions.push_back(dc::Decision{p.job->id, chosen, start, 1.0});
+    out.shard.observe(handles_.time_to_admission_s, ctx.now - p.first_seen);
   }
+  annotate(rung);
   return out;
 }
 
 std::vector<dc::Decision> WaterWiseScheduler::commit(
     std::vector<ChunkResult>&& results, const dc::ScheduleContext& ctx) {
+  obs::Span span("sched.commit");
+  span.arg("chunks", results.size());
   std::vector<dc::Decision> decisions;
   if (results.empty()) return decisions;
   // Deterministic reduction: chunk-index order, never completion order.
@@ -572,7 +697,10 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
   std::vector<const dc::PendingJob*> unplaced;
   int next_index = 0;
   for (ChunkResult& r : results) {
-    stats_ += r.stats;
+    // Registry accumulation in chunk-index order (results are sorted
+    // above), so counter and histogram bytes match at every thread count.
+    fold_stats(r.stats);
+    registry_.merge_shard(r.shard);
     decisions.insert(decisions.end(), r.decisions.begin(), r.decisions.end());
     for (std::size_t i = 0; i < spill.size(); ++i)
       spill[i] += r.leftover[i];
@@ -586,9 +714,10 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
   if (spill_total <= 0) {
     // No pooled quota left: every unplaced job is an explicit deferral to
     // the next batch window.
-    stats_.deferred_jobs += static_cast<long>(unplaced.size());
+    registry_.add(handles_.deferred_jobs, unplaced.size());
     return decisions;
   }
+  const obs::Span spill_span("sched.spill");
 
   // One serial spill re-solve: jobs no chunk placed get the pooled unused
   // quota, exactly as a serial scheduler with the same quotas would.  Jobs
@@ -604,8 +733,8 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
                           std::max(1, config_.max_jobs_per_solve))}));
   rest.jobs.resize(spill_jobs);
   rest.quota = std::move(spill);
-  ++stats_.spill_resolves;
-  stats_.spill_jobs += static_cast<long>(rest.jobs.size());
+  registry_.add(handles_.spill_resolves);
+  registry_.add(handles_.spill_jobs, rest.jobs.size());
   ChunkResult rr;
   try {
     rr = solve_one(rest, ctx);
@@ -615,16 +744,37 @@ std::vector<dc::Decision> WaterWiseScheduler::commit(
                              ") failed at window t=" + std::to_string(ctx.now) +
                              ": " + e.what());
   }
-  stats_ += rr.stats;
+  fold_stats(rr.stats);
+  registry_.merge_shard(rr.shard);
   decisions.insert(decisions.end(), rr.decisions.begin(), rr.decisions.end());
   // Whatever even the spill re-solve could not place defers explicitly:
   // jobs truncated from the spill chunk plus the re-solve's own unplaced.
-  stats_.deferred_jobs +=
-      unplaced_total - static_cast<long>(rr.decisions.size());
+  registry_.add(
+      handles_.deferred_jobs,
+      static_cast<std::uint64_t>(
+          unplaced_total - static_cast<long>(rr.decisions.size())));
   return decisions;
 }
 
 std::vector<dc::Decision> WaterWiseScheduler::schedule(
+    const std::vector<dc::PendingJob>& batch, const dc::ScheduleContext& ctx) {
+  // Observability wrapper: spans and service-level histograms around the
+  // untouched decision logic.  Everything recorded here is write-only —
+  // nothing below reads a clock or a metric — so the decision stream is
+  // byte-identical with tracing/metrics on or off.
+  obs::Span span("sched.window");
+  span.arg("t", ctx.now);
+  span.arg("batch", batch.size());
+  const util::Stopwatch watch;
+  registry_.add(handles_.windows);
+  registry_.observe(handles_.queue_depth, static_cast<double>(batch.size()));
+  std::vector<dc::Decision> decisions = schedule_impl(batch, ctx);
+  registry_.observe(handles_.decision_latency_s, watch.elapsed_seconds());
+  span.arg("decisions", decisions.size());
+  return decisions;
+}
+
+std::vector<dc::Decision> WaterWiseScheduler::schedule_impl(
     const std::vector<dc::PendingJob>& batch, const dc::ScheduleContext& ctx) {
   const int n = ctx.capacity->num_regions();
   if (!history_ || history_->observations() == 0) {
@@ -656,7 +806,7 @@ std::vector<dc::Decision> WaterWiseScheduler::schedule(
   if (total_cap <= 0) {
     // Nothing placeable this window (e.g. a total outage): every pending
     // job is an explicit deferral, re-examined next window.
-    stats_.deferred_jobs += static_cast<long>(batch.size());
+    registry_.add(handles_.deferred_jobs, batch.size());
     return {};
   }
 
@@ -674,13 +824,13 @@ std::vector<dc::Decision> WaterWiseScheduler::schedule(
       selected.resize(static_cast<std::size_t>(total_cap));
   }
   // Jobs the slack manager (or cap truncation) left out defer explicitly.
-  stats_.deferred_jobs +=
-      static_cast<long>(batch.size()) - static_cast<long>(selected.size());
+  registry_.add(handles_.deferred_jobs,
+                batch.size() - selected.size());
 
   // Plan -> solve -> commit: quota partition, pure per-chunk solves (fanned
   // across the pool when configured), deterministic in-order merge.
   std::vector<ChunkPlan> plans = plan_chunks(selected, caps);
-  stats_.chunks_planned += static_cast<long>(plans.size());
+  registry_.add(handles_.chunks_planned, plans.size());
   std::vector<ChunkResult> results(plans.size());
   // Exception safety across the fan-out: a throwing chunk solve records its
   // message in ChunkResult::error (never crosses the pool boundary raw);
@@ -742,7 +892,7 @@ void WaterWiseScheduler::update_region_health(const dc::ScheduleContext& ctx,
 
     const bool event = capacity_reduced || intensity_jump;
     if (event) {
-      ++stats_.fault_events;
+      registry_.add(handles_.fault_events);
       h.event_score = std::min(h.event_score + 1, 1000);
       h.clean_windows = 0;
     } else {
@@ -781,7 +931,7 @@ void WaterWiseScheduler::update_region_health(const dc::ScheduleContext& ctx,
     // backlog the moment the fault clears.
     auto& cap_ref = caps[static_cast<std::size_t>(r)];
     if (h.state == RegionHealth::State::Degraded) {
-      ++stats_.degraded_windows;
+      registry_.add(handles_.degraded_windows);
       cap_ref = std::min(
           cap_ref, static_cast<int>(std::floor(dm.degraded_cap_fraction *
                                                static_cast<double>(cap_now))));

@@ -74,6 +74,7 @@
 #include "core/history.hpp"
 #include "dc/scheduler.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ww::core {
@@ -139,6 +140,11 @@ struct WaterWiseConfig {
   std::uint64_t fault_seed = 0x57415457ULL;  ///< Stream id for injection.
   /// Node/iteration budget multiplier for the ladder's retry rung.
   long retry_budget_multiplier = 8;
+  /// Convenience gate for span tracing: constructing a scheduler with this
+  /// set enables the process-wide obs::Trace (equivalent to WW_TRACE=1 /
+  /// --trace-out without a custom path).  Tracing is observational only —
+  /// decision streams are byte-identical with it on or off.
+  bool trace = false;
   /// Test hook, called with the chunk index before each chunk solve; lets
   /// tests inject exceptions into the pooled fan-out.  Must be thread-safe.
   std::function<void(int)> chunk_solve_hook;
@@ -158,9 +164,17 @@ struct WaterWiseConfig {
 /// Aggregate Decision-Controller solver diagnostics over the scheduler's
 /// lifetime: how many MILPs ran, how big the trees were, and how much of
 /// the tree the warm-start path covered (Fig. 13 overhead attribution).
-/// Mergeable: `solve_one()` fills one per chunk and `commit()` folds them
-/// into the scheduler's lifetime stats with `operator+=`, in chunk-index
-/// order, so accumulation is identical at every thread count.
+///
+/// Since the observability PR this struct is a *view*, not the store: the
+/// scheduler accumulates every counter in its `obs::Registry` (typed
+/// handles, thread-sharded, merged in chunk-index order) and `stats()`
+/// materializes this struct from the registry on access.  The struct keeps
+/// two other jobs: `solve_one()` fills one per chunk as the self-contained
+/// per-chunk delta (`ChunkResult::stats`), and `operator+=` remains the
+/// canonical field-by-field merge for tests and benches that fold several
+/// schedulers' lifetimes together.  Service-level distributions (decision
+/// latency, queue depth, time-to-admission) live only in the registry —
+/// see `WaterWiseScheduler::registry()` and README "Observability".
 struct SchedulerStats {
   long milp_solves = 0;
   long soft_fallbacks = 0;       ///< Hard model failed, soft model ran.
@@ -279,6 +293,11 @@ struct ChunkResult {
   /// serial spill re-solve against the pooled leftover quota.
   std::vector<const dc::PendingJob*> unplaced;
   SchedulerStats stats;  ///< Per-chunk delta, merged by commit().
+  /// Per-chunk registry slice (service histograms observed during the
+  /// solve, e.g. time-to-admission per placed job).  Filled in isolation by
+  /// the worker, folded by commit() in chunk-index order so histogram bins
+  /// are byte-identical at every thread count.
+  obs::Shard shard;
   /// Non-empty when the chunk solve threw: commit() re-throws fail-fast with
   /// this message plus chunk/window context, lowest chunk index first, so an
   /// exception inside the pooled fan-out can never be swallowed.
@@ -298,8 +317,19 @@ class WaterWiseScheduler final : public dc::Scheduler {
   [[nodiscard]] const WaterWiseConfig& config() const noexcept {
     return config_;
   }
-  /// Lifetime solver diagnostics (accumulated over every schedule() call).
-  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+  /// Lifetime solver diagnostics: a SchedulerStats view materialized from
+  /// the metrics registry on each call (see the SchedulerStats comment).
+  [[nodiscard]] const SchedulerStats& stats() const;
+
+  /// The scheduler's metrics registry: every SchedulerStats counter under
+  /// "sched.*" plus the service-level distributions under "service.*"
+  /// (decision-latency seconds per window, queue depth per window,
+  /// time-to-admission seconds per placed job).  Counters and sim-time
+  /// histograms are deterministic; decision-latency is wall-clock and
+  /// observational only.
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
 
   /// Thread count the chunk fan-out actually uses: WW_SCHED_THREADS when
   /// set, else config().solver_threads, with 0 resolving to all cores.
@@ -361,9 +391,36 @@ class WaterWiseScheduler final : public dc::Scheduler {
   void update_region_health(const dc::ScheduleContext& ctx,
                             std::vector<int>& caps);
 
+  /// schedule() minus the observability wrapper (spans, latency/queue
+  /// histograms); keeps the decision logic free of instrumentation.
+  [[nodiscard]] std::vector<dc::Decision> schedule_impl(
+      const std::vector<dc::PendingJob>& batch, const dc::ScheduleContext& ctx);
+
+  /// Typed registry handles, resolved once at construction so the hot path
+  /// never does string lookups.  One counter per SchedulerStats long field,
+  /// one gauge per double field, plus the service-level histograms.
+  struct Handles {
+    obs::Counter milp_solves, soft_fallbacks, nodes_explored;
+    obs::Counter simplex_iterations, warm_started_nodes, phase1_nodes;
+    obs::Counter refactorizations, ft_updates, seeded_incumbents;
+    obs::Counter presolve_rows_removed, presolve_cols_removed;
+    obs::Counter presolve_nonzeros_removed;
+    obs::Counter chunks_planned, spill_jobs, spill_resolves;
+    obs::Counter fault_events, degraded_windows, solve_retries;
+    obs::Counter fallback_placements, deferred_jobs, windows;
+    obs::Gauge presolve_seconds, solve_seconds;
+    obs::Hist decision_latency_s, queue_depth, time_to_admission_s;
+  };
+  void register_metrics();
+  /// Folds a per-chunk SchedulerStats delta into the registry counters.
+  void fold_stats(const SchedulerStats& delta);
+
   WaterWiseConfig config_;
   std::unique_ptr<HistoryLearner> history_;
-  SchedulerStats stats_;
+  obs::Registry registry_;
+  Handles handles_;
+  /// Compatibility view rebuilt from the registry by stats().
+  mutable SchedulerStats stats_view_;
   std::vector<RegionHealth> health_;
   /// Lazily created on the first multi-chunk window when
   /// effective_solver_threads() > 1; single-chunk windows never pay for it.

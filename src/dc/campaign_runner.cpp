@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -46,9 +47,13 @@ CampaignRunner& CampaignRunner::add_baseline(
 }
 
 std::vector<ScenarioOutcome> CampaignRunner::run_all() {
+  obs::Span campaign_span("campaign");
+  campaign_span.arg("scenarios", scenarios_.size());
   std::vector<ScenarioOutcome> outcomes(scenarios_.size());
   const auto run_one = [&](std::size_t i) {
     const Scenario& s = scenarios_[i];
+    obs::Span scenario_span("scenario");
+    scenario_span.arg("index", i);
     ScenarioContext ctx{i, scenario_rng(config_, i, s)};
     const util::Stopwatch watch;
     CampaignResult result = s.run(ctx);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "trace/benchmark_profile.hpp"
 #include "util/timer.hpp"
 
@@ -203,6 +204,9 @@ CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
       view.set_now(now);
       ctx.capacity = &view;
 
+      obs::Span window_span("sim.window");
+      window_span.arg("t", now);
+      window_span.arg("pending", pending.size());
       const util::Stopwatch watch;
       const std::vector<Decision> decisions = scheduler.schedule(pending, ctx);
       const double batch_seconds = watch.elapsed_seconds();
@@ -210,6 +214,7 @@ CampaignResult Simulator::run(const std::vector<trace::Job>& jobs,
       result.batch_decision_seconds.add(batch_seconds);
       result.overhead_series.emplace_back(now / 60.0, batch_seconds);
 
+      const obs::Span apply_span("sim.apply");
       std::size_t applied = 0;
       for (const Decision& d : decisions) {
         const auto pit =

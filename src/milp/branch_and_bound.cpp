@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "milp/presolve.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ww::milp {
@@ -404,10 +405,9 @@ Solution solve_raw(const Model& model, const SolverOptions& options,
   return bb.solve(seed);
 }
 
-}  // namespace
-
-Solution solve(const Model& model, SolverOptions options,
-               const Solution* seed) {
+/// solve() minus the tracing wrapper; callers go through solve().
+Solution solve_impl(const Model& model, SolverOptions options,
+                    const Solution* seed) {
   if (!options.presolve) return solve_raw(model, options, seed);
 
   // Presolve wrapper: reduce, solve the reduced model with presolve off,
@@ -463,6 +463,26 @@ Solution solve(const Model& model, SolverOptions options,
     sol = solve_raw(red, options, sp);
   }
   pre.postsolve(model, sol);
+  return sol;
+}
+
+}  // namespace
+
+Solution solve(const Model& model, SolverOptions options,
+               const Solution* seed) {
+  // Span annotations are written after the solve and never read back, so
+  // tracing cannot perturb the solver path (see src/obs/trace.hpp).
+  obs::Span span("milp.solve");
+  Solution sol = solve_impl(model, options, seed);
+  span.arg("status", static_cast<int>(sol.status));
+  span.arg("simplex_iterations", sol.simplex_iterations);
+  span.arg("nodes_explored", sol.nodes_explored);
+  span.arg("warm_started_nodes", sol.warm_started_nodes);
+  span.arg("refactorizations", sol.refactorizations);
+  span.arg("ft_updates", sol.ft_updates);
+  span.arg("presolve_rows_removed", sol.presolve_rows_removed);
+  span.arg("presolve_cols_removed", sol.presolve_cols_removed);
+  span.arg("solve_seconds", sol.solve_seconds);
   return sol;
 }
 

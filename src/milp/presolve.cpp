@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ww::milp {
@@ -75,6 +76,7 @@ bool Presolve::apply_bound(int j, double value, bool is_upper,
 
 Presolve::Result Presolve::run(const Model& model,
                                const SolverOptions& options) {
+  obs::Span span("milp.presolve");
   const util::Stopwatch watch;
   feas_tol_ = options.feasibility_tolerance;
   int_tol_ = options.integrality_tolerance;
@@ -124,6 +126,10 @@ Presolve::Result Presolve::run(const Model& model,
 
   const auto done = [&](Result r) {
     stats_.seconds = watch.elapsed_seconds();
+    span.arg("rows_removed", stats_.rows_removed);
+    span.arg("cols_removed", stats_.cols_removed);
+    span.arg("nonzeros_removed", stats_.nonzeros_removed);
+    span.arg("bounds_tightened", stats_.bounds_tightened);
     return r;
   };
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ww::milp {
@@ -686,6 +687,12 @@ Solution SimplexSolver::solve() {
 Solution SimplexSolver::solve_with_bounds(const std::vector<double>& lower,
                                           const std::vector<double>& upper,
                                           const WarmStartBasis* warm) {
+  // Per-LP span: one B/E pair per (re-)solve, including every warm B&B
+  // node re-solve.  A no-op branch when tracing is off.
+  obs::Span span("milp.lp");
+  span.arg("rows", m_);
+  span.arg("cols", n_struct_);
+  span.arg("warm", warm != nullptr ? 1 : 0);
   const util::Stopwatch watch;
   Solution sol;
   basis_capturable_ = false;

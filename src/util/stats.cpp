@@ -138,6 +138,42 @@ void Histogram::add(double x) noexcept {
 
 std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
 
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("Histogram::quantile: q out of [0,1]");
+  if (total_ == 0) return 0.0;
+  // Target rank in [1, total]; ceil keeps q=0 on the first sample and the
+  // whole walk in exact integer arithmetic.
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= rank) {
+      // Interpolate inside the bin: the k-th of c samples sits at fraction
+      // (k - 0.5) / c of the bin width (midpoint convention, so a
+      // single-sample bin reports its midpoint, not an edge).
+      const auto k = static_cast<double>(rank - seen);
+      const auto c = static_cast<double>(counts_[i]);
+      const double frac = (k - 0.5) / c;
+      return bin_lo(i) + (bin_hi(i) - bin_lo(i)) * frac;
+    }
+    seen += counts_[i];
+  }
+  return hi_;  // Unreachable when counts are consistent with total_.
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  dropped_ += other.dropped_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(counts_.size());

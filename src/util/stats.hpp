@@ -63,6 +63,22 @@ class Histogram {
   [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  /// Deterministic quantile estimate, q in [0, 1]: walks the bins to the
+  /// one holding the q-th sample and interpolates linearly inside it
+  /// (samples assumed uniform within a bin).  Pure integer bin walk plus
+  /// one fixed-order float expression, so the result depends only on bin
+  /// contents — never on insertion order or thread count.  Returns 0 on an
+  /// empty histogram; dropped (non-finite) samples are excluded.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fold `other` into this histogram bin-by-bin.  Both sides must share
+  /// the exact same layout (lo, hi, bin count) — merging differently-shaped
+  /// histograms would silently rebin, so a mismatch throws instead.
+  /// Drop-bucket counts accumulate too.
+  void merge(const Histogram& other);
 
  private:
   double lo_;

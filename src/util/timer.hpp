@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace ww::util {
 
@@ -20,5 +21,16 @@ class Stopwatch {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Monotonic timestamp in microseconds since an arbitrary process-local
+/// epoch.  This is the only clock the observability layer (`src/obs/`) may
+/// read: values are observational — they annotate trace events and latency
+/// histograms — and must never feed a scheduling decision, or the
+/// byte-identity invariant across thread counts breaks.
+[[nodiscard]] inline std::int64_t monotonic_micros() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace ww::util

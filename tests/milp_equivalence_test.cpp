@@ -15,6 +15,7 @@
 #include "milp/branch_and_bound.hpp"
 #include "milp/instances.hpp"
 #include "milp/model.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ww::milp {
@@ -167,6 +168,32 @@ TEST(MilpEquivalence, InfeasibleAgreesAcrossModes) {
   for (int mask = 0; mask < 16; ++mask) {
     const Solution sol = solve(m, mode_options(mask));
     EXPECT_EQ(sol.status, Status::Infeasible) << mode_name(mask);
+  }
+}
+
+TEST(MilpEquivalence, TracingOnOffBitwiseIdentical) {
+  // Span tracing wraps milp::solve, the presolver, and the simplex; it is
+  // observational, so traced and untraced solves must return bitwise the
+  // same Solution (values, counters, node counts) across every mode mask.
+  for (Instance& inst : corpus()) {
+    for (const int mask : {0x0, 0xF}) {
+      obs::Trace::instance().set_enabled(false);
+      const Solution off = solve(inst.model, mode_options(mask));
+      obs::Trace::instance().set_enabled(true);
+      const Solution on = solve(inst.model, mode_options(mask));
+      obs::Trace::instance().set_enabled(false);
+      obs::Trace::instance().clear();
+      const std::string tag =
+          std::string(inst.name) + " [" + mode_name(mask) + "]";
+      EXPECT_EQ(on.status, off.status) << tag;
+      EXPECT_EQ(on.objective, off.objective) << tag;
+      EXPECT_EQ(on.values, off.values) << tag;
+      EXPECT_EQ(on.nodes_explored, off.nodes_explored) << tag;
+      EXPECT_EQ(on.simplex_iterations, off.simplex_iterations) << tag;
+      EXPECT_EQ(on.warm_started_nodes, off.warm_started_nodes) << tag;
+      EXPECT_EQ(on.ft_updates, off.ft_updates) << tag;
+      EXPECT_EQ(on.presolve_rows_removed, off.presolve_rows_removed) << tag;
+    }
   }
 }
 

@@ -145,5 +145,72 @@ TEST(Histogram, NonFiniteSamplesGoToDropBucket) {
   EXPECT_EQ(h.bin_count(9), 1u);
 }
 
+TEST(Histogram, QuantileSingleBinMidpoint) {
+  // All mass in one bin: every quantile interpolates inside that bin by
+  // the midpoint convention ((k - 0.5) / c of the bin width).
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 3.5);  // 1 sample: bin midpoint
+  h.add(3.5);
+  h.add(3.5);
+  h.add(3.5);
+  // 4 samples in bin [3, 4): ranks 2 and 4 sit at 1.5/4 and 3.5/4.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 3.0 + 1.5 / 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00), 3.0 + 3.5 / 4.0);
+}
+
+TEST(Histogram, QuantileAcrossBins) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);  // one sample per bin
+  // Rank r lands in bin r-1, whose single sample sits at its midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 49.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 94.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 98.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);  // rank clamps to 1
+}
+
+TEST(Histogram, QuantileEmptyAndRejects) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: defined as 0
+  EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileIgnoresDropped) {
+  // Non-finite samples sit in the drop bucket, not the rank order.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(7.5);
+  EXPECT_EQ(h.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.5);
+}
+
+TEST(Histogram, MergeMatchesSequential) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Histogram all(0.0, 10.0, 10);
+  for (int i = 0; i < 40; ++i) {
+    const double x = (i * 7) % 11;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  all.add(std::numeric_limits<double>::quiet_NaN());
+  a.merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.dropped(), all.dropped());
+  for (std::size_t i = 0; i < all.bins(); ++i)
+    EXPECT_EQ(a.bin_count(i), all.bin_count(i));
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), all.quantile(0.5));
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram bins(0.0, 10.0, 20);
+  Histogram range(0.0, 20.0, 10);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ww::util

@@ -5,7 +5,7 @@ The repo's standing invariant (ROADMAP.md) is that campaign aggregates are
 byte-identical across thread counts and ablation switches.  clang-tidy and
 the sanitizers catch races and UB, but not the *sources* of run-to-run
 divergence this codebase has actually been bitten by.  This lint enforces
-five repo-specific bans, each escapable only by an explicit justification
+six repo-specific bans, each escapable only by an explicit justification
 comment on the offending line (or, when the 80-column limit forces it, a
 comment-only line immediately above):
 
@@ -48,6 +48,15 @@ solver-path-time-limit
     changes decision streams run to run; scheduler-path solves must bound
     work with deterministic node/iteration budgets instead.  The milp
     library itself, tests, and benches may still set wall-clock limits.
+
+direct-output-in-lib-paths
+    `std::cout` / `std::cerr` / `printf` / `fprintf` are banned in the
+    library paths (src/core, src/milp, src/dc, src/sched) without a det-ok
+    justification.  Library code reports through return values, counters,
+    and the obs registry/trace layer; a stray stream write interleaves
+    nondeterministically under the campaign thread pool and corrupts the
+    drivers' parseable stdout.  Drivers (bench/, tools/, tests/, examples/)
+    own the terminal and may print freely.
 
 A bare `// det-ok` with no justification text is itself an error: the
 annotation is a reviewed claim, not a mute button.
@@ -101,6 +110,12 @@ TIME_LIMIT_RE = re.compile(r"\btime_limit_seconds\s*=(?!=)")
 # nodes/iterations (src/milp itself implements the limit and is exempt).
 TIME_LIMIT_PATHS = ("src/core", "src/dc")
 
+# Rule 6 applies to the library paths, which report through counters and
+# the obs layer; drivers own stdout/stderr.
+LIB_OUTPUT_PATHS = ("src/core", "src/milp", "src/dc", "src/sched")
+DIRECT_OUTPUT_RE = re.compile(
+    r"\bstd::(?:cout|cerr)\b|\b(?:printf|fprintf)\s*\(")
+
 # Lines that merely name a header or appear in comments/strings are not
 # findings; this lint keys on code, so strip comments and string literals
 # before matching (det-ok detection happens on the raw line first).
@@ -112,6 +127,7 @@ RULES = (
     "pointer-keyed-container",
     "raw-thread-or-async",
     "solver-path-time-limit",
+    "direct-output-in-lib-paths",
 )
 
 
@@ -179,6 +195,7 @@ def lint_file(rel: str, text: str) -> list[Finding]:
     findings: list[Finding] = []
     in_solver_path = in_any(rel, SOLVER_PATHS)
     in_time_limit_path = in_any(rel, TIME_LIMIT_PATHS)
+    in_lib_output_path = in_any(rel, LIB_OUTPUT_PATHS)
     wallclock_allowed = in_any(rel, WALLCLOCK_ALLOWED)
     thread_allowed = in_any(rel, THREAD_ALLOWED)
 
@@ -242,6 +259,14 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "machine load would decide where the tree truncates — bound "
                 "the solve with deterministic node/iteration budgets, or "
                 "justify with '// det-ok: ...'")
+        if in_lib_output_path and DIRECT_OUTPUT_RE.search(code):
+            report(
+                "direct-output-in-lib-paths",
+                "direct stream output in a library path; report through "
+                "return values, SchedulerStats counters, or the obs "
+                "registry/trace layer so driver stdout stays parseable and "
+                "thread-pool runs do not interleave, or justify with "
+                "'// det-ok: ...'")
     return findings
 
 

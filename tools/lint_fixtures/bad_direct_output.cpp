@@ -1,0 +1,16 @@
+// PATH: src/sched/fixture.cpp
+// EXPECT: 10:direct-output-in-lib-paths
+// EXPECT: 11:direct-output-in-lib-paths
+// EXPECT: 12:direct-output-in-lib-paths
+// EXPECT: 13:direct-output-in-lib-paths
+// Fixture: direct stream output in a library path — interleaves under the
+// campaign thread pool and corrupts driver-owned stdout.  The annotated
+// write at the end is waived; the string mentioning cout is not code.
+#include <cstdio>
+void report(long n) { std::cout << n << "\n"; }
+void warn() { std::cerr << "degraded\n"; }
+void legacy(long n) { printf("%ld\n", n); }
+void legacy_err() { fprintf(stderr, "bad\n"); }
+const char* doc = "use std::cout only in drivers";
+// det-ok: fatal-path diagnostic, emitted at most once before abort
+void last_words() { std::cerr << "giving up\n"; }

@@ -15,6 +15,7 @@
 
 #include "core/waterwise.hpp"
 #include "dc/campaign_runner.hpp"
+#include "obs/trace.hpp"
 #include "dc/simulator.hpp"
 #include "sched/basic.hpp"
 #include "sched/ecovisor.hpp"
@@ -92,6 +93,25 @@ std::vector<double> parse_double_list(const std::string& csv) {
   return out;
 }
 
+/// When span tracing is on (--trace-out or WW_TRACE), writes the buffered
+/// Chrome trace JSON to obs::Trace::output_path() and `metrics_json` next to
+/// it, and prints a one-line summary.
+void export_trace(const std::string& metrics_json) {
+  obs::Trace& trace = obs::Trace::instance();
+  if (!obs::Trace::enabled()) return;
+  {
+    std::ofstream out(trace.output_path());
+    trace.write_chrome_json(out);
+  }
+  {
+    std::ofstream out(trace.metrics_path());
+    out << metrics_json;
+  }
+  std::cout << "[trace] wrote " << trace.event_count() << " event(s) to "
+            << trace.output_path() << " (metrics: " << trace.metrics_path()
+            << ")\n";
+}
+
 void write_jobs_csv(const std::string& path, const dc::CampaignResult& res) {
   std::ofstream out(path);
   util::CsvWriter w(out);
@@ -132,6 +152,8 @@ int main(int argc, char** argv) {
       .define("jobs", "campaign worker threads (0 = all cores)", "1")
       .define("lambda-sweep", "comma-separated lambda_CO2 list; runs the "
               "sweep + Baseline as a parallel campaign")
+      .define("trace-out", "write Chrome trace-event JSON here (enables "
+              "span tracing; WW_TRACE=<path> is equivalent)")
       .define_bool("compare", "also run Baseline and report savings")
       .define_bool("help", "show this help");
 
@@ -144,6 +166,12 @@ int main(int argc, char** argv) {
   if (flags.get_bool("help")) {
     std::cout << "waterwise_sim — WaterWise campaign driver\n" << flags.help();
     return 0;
+  }
+
+  obs::Trace::instance().configure_from_env();
+  if (flags.has("trace-out")) {
+    obs::Trace::instance().set_output_path(flags.get("trace-out"));
+    obs::Trace::instance().set_enabled(true);
   }
 
   try {
@@ -246,6 +274,10 @@ int main(int argc, char** argv) {
                             o.baseline ? nullptr : &outcomes[0].result);
         }
       }
+      // Sweep schedulers are scenario-local, so the metrics dump only
+      // carries the span-derived trace; per-scheduler registries die with
+      // their scenarios.
+      export_trace("{}\n");
       return 0;
     }
 
@@ -294,6 +326,9 @@ int main(int argc, char** argv) {
 
     if (flags.has("out")) write_summary_csv(flags.get("out"), res, base.get());
     if (flags.has("jobs-out")) write_jobs_csv(flags.get("jobs-out"), res);
+    const auto* ww =
+        dynamic_cast<const core::WaterWiseScheduler*>(scheduler.get());
+    export_trace(ww != nullptr ? ww->registry().to_json() : "{}\n");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
