@@ -11,6 +11,7 @@
 // blackout produces no explicit deferrals, or when the fault-injected
 // thread-count sweep diverges from the serial decision stream.
 #include <cstdlib>
+#include <optional>
 
 #include "common.hpp"
 
@@ -173,6 +174,63 @@ int main() {
   bench::CampaignSpec eq_spec = storms[0].spec;
   if (!bench::check_chunk_parallel_equivalence(jobs, eq_spec, eq_cfg))
     return 1;
+
+  // Scenarios × chunks under faults: a one-burst campaign (injected solve
+  // failures layered on the outage storm) re-run at the four
+  // (campaign jobs, solver_threads) corners of the unified work-stealing
+  // pool.  Merged aggregates must stay byte-identical — stealing must stay
+  // invisible even when the retry-then-degrade ladder reshuffles work.
+  {
+    auto burst = trace::generate_trace(trace::borg_config(11, 0.04));
+    for (auto& j : burst) j.submit_time = 0.0;  // one burst => multi-chunk
+    core::WaterWiseConfig storm_cfg = eq_cfg;
+    storm_cfg.max_jobs_per_solve = 25;
+    const double tols[] = {0.25, 0.5, 1.0};
+    struct Corner {
+      std::size_t jobs;
+      int threads;
+    };
+    const Corner corners[] = {{1, 1}, {3, 1}, {1, 4}, {3, 4}};
+    std::optional<dc::CampaignResult> ref;
+    for (const auto& corner : corners) {
+      dc::CampaignConfig sweep_cfg;
+      sweep_cfg.jobs = corner.jobs;
+      dc::CampaignRunner sweep(sweep_cfg);
+      core::WaterWiseConfig cw = storm_cfg;
+      cw.solver_threads = corner.threads;
+      for (const double tol : tols)
+        sweep.add("tol=" + util::Table::fixed(tol, 2),
+                  [&, tol](dc::ScenarioContext&) {
+                    bench::CampaignSpec spec = eq_spec;
+                    spec.tol = tol;
+                    return bench::run_policy(burst, bench::Policy::WaterWise,
+                                             spec, cw);
+                  });
+      const util::WorkStealingPool& pool = util::WorkStealingPool::global();
+      const std::uint64_t stolen_before = pool.tasks_stolen();
+      const auto sweep_outcomes = sweep.run_all();
+      const dc::CampaignResult total =
+          dc::CampaignRunner::merged_totals(sweep_outcomes);
+      std::cout << "[scaling] fault storm, " << corner.jobs
+                << " scenario job(s) x " << corner.threads
+                << " solver thread(s): "
+                << (pool.tasks_stolen() - stolen_before) << " task(s) stolen\n";
+      if (!ref) {
+        ref = total;
+        continue;
+      }
+      require(total.num_jobs == ref->num_jobs &&
+                  total.total_carbon_g == ref->total_carbon_g &&
+                  total.total_water_l == ref->total_water_l &&
+                  total.total_cost_usd == ref->total_cost_usd &&
+                  total.violations == ref->violations,
+              "fault-storm scenarios x chunks corner diverged from the "
+              "serial aggregate");
+    }
+    std::cout << "[scaling] fault-injected campaign byte-identical at all "
+                 "four (jobs x solver_threads) corners\n";
+  }
+  bench::print_pool_counters("fault storms");
 
   std::cout << "\nAll fault-storm invariants hold: every job placed exactly\n"
                "once, degradation counters reconcile, and fault-injected\n"

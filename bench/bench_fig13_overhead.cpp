@@ -3,6 +3,7 @@
 // Paper: < 0.2% throughout, higher for Alibaba (8.5x invocation rate).
 #include <cstdlib>
 #include <limits>
+#include <optional>
 
 #include "common.hpp"
 #include "obs/trace.hpp"
@@ -86,6 +87,76 @@ void chunk_parallel_selfcheck() {
   }
 }
 
+/// Scenarios × chunks scaling panel: the same K-scenario × C-chunk campaign
+/// run at the four (campaign jobs, solver_threads) corners.  (K, C) used to
+/// be the nested-pool configuration that oversubscribed K·C threads across
+/// two ThreadPools; every corner now shares the one work-stealing pool, with
+/// scenario tasks spawning chunk subtasks into the same deques.  Campaign
+/// aggregates must be byte-identical across all four corners — the panel
+/// exits nonzero on divergence — while wall-clock and the steal counters
+/// (observational) show how the pool behaves.
+void scenario_chunk_scaling_panel() {
+  using namespace ww;
+  auto jobs = trace::generate_trace(trace::borg_config(7, 0.05));
+  for (auto& j : jobs) j.submit_time = 0.0;  // one burst => multi-chunk windows
+  const double tols[] = {0.25, 0.5, 1.0, 2.0};  // K = 4 scenarios
+  struct Corner {
+    const char* label;
+    std::size_t jobs;
+    int threads;
+  };
+  const Corner corners[] = {
+      {"1 scenario job x 1 solver thread (serial)", 1, 1},
+      {"4 scenario jobs x 1 solver thread", 4, 1},
+      {"1 scenario job x 4 solver threads", 1, 4},
+      {"4 scenario jobs x 4 solver threads (was nested pools)", 4, 4},
+  };
+  std::optional<dc::CampaignResult> ref;
+  for (const auto& corner : corners) {
+    dc::CampaignConfig cfg;
+    cfg.jobs = corner.jobs;
+    dc::CampaignRunner runner(cfg);
+    for (const double tol : tols)
+      runner.add("tol=" + util::Table::fixed(tol, 2),
+                 [&, tol](dc::ScenarioContext&) {
+                   bench::CampaignSpec spec;
+                   spec.tol = tol;
+                   core::WaterWiseConfig ww_cfg;
+                   ww_cfg.max_jobs_per_solve = 25;  // force multi-chunk windows
+                   ww_cfg.solver_threads = corner.threads;
+                   return bench::run_policy(jobs, bench::Policy::WaterWise,
+                                            spec, ww_cfg);
+                 });
+    const util::WorkStealingPool& pool = util::WorkStealingPool::global();
+    const std::uint64_t stolen_before = pool.tasks_stolen();
+    const util::Stopwatch watch;
+    const auto outcomes = runner.run_all();
+    const double seconds = watch.elapsed_seconds();
+    const dc::CampaignResult total =
+        dc::CampaignRunner::merged_totals(outcomes);
+    std::cout << "[scaling] " << corner.label << ": "
+              << util::Table::fixed(seconds * 1000.0, 1) << " ms, "
+              << (pool.tasks_stolen() - stolen_before) << " task(s) stolen\n";
+    if (!ref) {
+      ref = total;
+      continue;
+    }
+    const bool same = total.num_jobs == ref->num_jobs &&
+                      total.total_carbon_g == ref->total_carbon_g &&
+                      total.total_water_l == ref->total_water_l &&
+                      total.total_cost_usd == ref->total_cost_usd &&
+                      total.violations == ref->violations;
+    if (!same) {
+      std::cerr << "self-check FAILED: scenarios x chunks corner '"
+                << corner.label
+                << "' diverged from the serial campaign aggregate\n";
+      std::exit(1);
+    }
+  }
+  std::cout << "[scaling] all four (jobs x solver_threads) corners "
+               "byte-identical on the unified pool\n";
+}
+
 /// Tracing-overhead panel: the one-burst campaign timed with spans off and
 /// with spans on (best of three each, so scheduler noise on a loaded runner
 /// does not decide the verdict).  The disabled path is a single relaxed
@@ -141,6 +212,7 @@ int main() {
   obs::Trace::instance().configure_from_env();
   bench::banner("Figure 13: decision-making overhead", "Sec. 6, Fig. 13");
   chunk_parallel_selfcheck();
+  scenario_chunk_scaling_panel();
   tracing_overhead_panel();
 
   const double days = std::min(bench::campaign_days(), 0.25);  // 6 sim hours
@@ -153,8 +225,7 @@ int main() {
   // Schedulers constructed here (not via run_policy) so their solver
   // counters survive the campaign and can be reported below.
   core::WaterWiseScheduler ww_borg, ww_ali;
-  util::ThreadPool pool;
-  pool.parallel_for(2, [&](std::size_t k) {
+  util::global_parallel_for(0, 2, [&](std::size_t k) {
     if (k == 0)
       r_borg = bench::run_campaign(borg, ww_borg, spec);
     else
@@ -176,6 +247,7 @@ int main() {
   std::cout << "\n";
   bench::print_service_metrics("Google Borg trace", ww_borg.registry());
   bench::print_service_metrics("Alibaba trace", ww_ali.registry());
+  bench::print_pool_counters("fig13 campaigns");
 
   // WW_TRACE export: Chrome trace JSON (chrome://tracing / ui.perfetto.dev)
   // plus the machine-readable metrics dump for both schedulers.

@@ -17,14 +17,14 @@ int main() {
 
   std::vector<std::vector<dc::CampaignResult>> results(
       policies.size(), std::vector<dc::CampaignResult>(tolerances.size()));
-  util::ThreadPool pool;
-  pool.parallel_for(policies.size() * tolerances.size(), [&](std::size_t k) {
-    const std::size_t p = k / tolerances.size();
-    const std::size_t t = k % tolerances.size();
-    bench::CampaignSpec spec;
-    spec.tol = tolerances[t];
-    results[p][t] = bench::run_policy(jobs, policies[p], spec);
-  });
+  util::global_parallel_for(
+      0, policies.size() * tolerances.size(), [&](std::size_t k) {
+        const std::size_t p = k / tolerances.size();
+        const std::size_t t = k % tolerances.size();
+        bench::CampaignSpec spec;
+        spec.tol = tolerances[t];
+        results[p][t] = bench::run_policy(jobs, policies[p], spec);
+      });
 
   util::Table service({"Scheme", "Service 25%", "Service 50%", "Service 75%",
                        "Service 100%"});

@@ -42,7 +42,7 @@ dc::CampaignConfig campaign_config() {
 
 std::vector<dc::ScenarioOutcome> run_and_time(dc::CampaignRunner& runner) {
   const std::size_t threads =
-      util::ThreadPool::resolve_threads(runner.config().jobs);
+      util::WorkStealingPool::resolve_threads(runner.config().jobs);
   const util::Stopwatch watch;
   auto outcomes = runner.run_all();
   std::cout << "[campaign] " << outcomes.size() << " scenario(s) in "
@@ -135,7 +135,7 @@ bool check_chunk_parallel_equivalence(const std::vector<trace::Job>& jobs,
   long ref_chunks = 0;
   std::size_t ref_threads = 0;
   bool ok = true;
-  for (const int threads : {1, 2, 4}) {
+  for (const int threads : {1, 2, 4, 8}) {
     ww_config.solver_threads = threads;
     core::WaterWiseScheduler ww(ww_config);
     const dc::CampaignResult res = run_campaign(jobs, ww, rec_spec);
@@ -169,8 +169,8 @@ bool check_chunk_parallel_equivalence(const std::vector<trace::Job>& jobs,
     }
   }
   if (ok)
-    std::cout << "[chunk-parallel] solver_threads {1, 2, 4}: decision stream "
-                 "and aggregates byte-identical ("
+    std::cout << "[chunk-parallel] solver_threads {1, 2, 4, 8}: decision "
+                 "stream and aggregates byte-identical ("
               << ref_chunks << " chunk plans; first run used " << ref_threads
               << " thread(s))\n";
   return ok;
@@ -211,6 +211,15 @@ void print_service_metrics(const std::string& label,
             << util::Table::fixed(adm->quantile(0.50), 1) << "/"
             << util::Table::fixed(adm->quantile(0.99), 1) << " s over "
             << adm->total() << " placement(s)\n";
+}
+
+void print_pool_counters(const std::string& label) {
+  const util::WorkStealingPool& pool = util::WorkStealingPool::global();
+  std::cout << "[pool] " << label << ": workers=" << pool.size()
+            << " tasks_run=" << pool.tasks_run()
+            << " tasks_stolen=" << pool.tasks_stolen()
+            << " steal_attempts=" << pool.steal_attempts()
+            << " (observational)\n";
 }
 
 bool export_trace_if_enabled(const std::string& metrics_json) {

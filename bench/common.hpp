@@ -21,7 +21,7 @@
 #include "sched/greedy_opt.hpp"
 #include "trace/generator.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace ww::bench {
 
@@ -89,12 +89,12 @@ enum class Policy {
 
 /// Chunk-parallel equivalence check shared by the campaign drivers: runs a
 /// WaterWise campaign over `jobs` with chunking forced (max_jobs_per_solve
-/// clamped to 25) at solver_threads in {1, 2, 4} and verifies the per-job
-/// decision stream and every aggregate are byte-identical.  Prints a
-/// one-line verdict; returns false on divergence (bench_fig13's startup
-/// self-check exits nonzero on it).  Under a WW_SCHED_THREADS override the
-/// three runs collapse onto the forced thread count, exactly like the
-/// WW_PRESOLVE sweep under its override.
+/// clamped to 25) at solver_threads in {1, 2, 4, 8} on the unified
+/// work-stealing pool and verifies the per-job decision stream and every
+/// aggregate are byte-identical.  Prints a one-line verdict; returns false
+/// on divergence (bench_fig13's startup self-check exits nonzero on it).
+/// Under a WW_SCHED_THREADS override the four runs collapse onto the forced
+/// thread count, exactly like the WW_PRESOLVE sweep under its override.
 [[nodiscard]] bool check_chunk_parallel_equivalence(
     const std::vector<trace::Job>& jobs, const CampaignSpec& spec,
     core::WaterWiseConfig ww_config = {});
@@ -111,6 +111,11 @@ void print_degradation_counters(const std::string& label,
 /// queue depth and time-to-admission are deterministic.
 void print_service_metrics(const std::string& label,
                            const obs::Registry& registry);
+
+/// Prints the global work-stealing pool's lifetime counters (workers,
+/// tasks run, tasks stolen, steal attempts).  Observational: steal counts
+/// vary run to run and are never part of byte-identity comparisons.
+void print_pool_counters(const std::string& label);
 
 /// When WW_TRACE enabled tracing: writes the buffered Chrome trace JSON to
 /// obs::Trace::output_path() and `metrics_json` to metrics_path(), prints a

@@ -98,6 +98,11 @@ void WaterWiseScheduler::register_metrics() {
   handles_.queue_depth = r.histogram("service.queue_depth", 0.0, 2048.0, 64);
   handles_.time_to_admission_s =
       r.histogram("service.time_to_admission_s", 0.0, 3600.0, 72);
+  // Work-stealing visibility (observational, like decision_latency_s):
+  // deltas of the global pool's counters around each window's fan-out.
+  handles_.tasks_stolen = r.counter("pool.tasks_stolen");
+  handles_.steal_attempts = r.counter("pool.steal_attempts");
+  handles_.pool_depth = r.gauge("pool.queue_depth");
 }
 
 void WaterWiseScheduler::fold_stats(const SchedulerStats& delta) {
@@ -161,7 +166,7 @@ const SchedulerStats& WaterWiseScheduler::stats() const {
 std::size_t WaterWiseScheduler::effective_solver_threads() const noexcept {
   const int configured =
       sched_threads_override().value_or(config_.solver_threads);
-  return util::ThreadPool::resolve_threads(
+  return util::WorkStealingPool::resolve_threads(
       configured <= 0 ? 0 : static_cast<std::size_t>(configured));
 }
 
@@ -848,8 +853,31 @@ std::vector<dc::Decision> WaterWiseScheduler::schedule_impl(
   };
   const std::size_t threads = effective_solver_threads();
   if (threads > 1 && plans.size() > 1) {
-    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads);
-    pool_->parallel_for(plans.size(), guarded_solve);
+    // Fan chunk solves onto the process-global work-stealing pool.  When
+    // this window is itself a task on that pool (a campaign scenario), the
+    // spawns land on the current worker's own deque and idle workers steal
+    // them — one scheduler for both axes, no nested-pool oversubscription.
+    // TaskGroup::wait() helps while waiting, so this thread executes
+    // pending chunks instead of parking.  guarded_solve never throws
+    // (errors land in ChunkResult::error), and commit() below merges in
+    // chunk-index order, so steal interleavings cannot reach the outputs.
+    util::WorkStealingPool& pool = util::WorkStealingPool::global();
+    pool.ensure_workers(threads);
+    const std::uint64_t stolen_before = pool.tasks_stolen();
+    const std::uint64_t attempts_before = pool.steal_attempts();
+    {
+      util::TaskGroup group(pool);
+      for (std::size_t k = 0; k < plans.size(); ++k)
+        group.spawn([&guarded_solve, k] { guarded_solve(k); });
+      registry_.set(handles_.pool_depth,
+                    static_cast<double>(pool.queue_depth()));
+      group.wait();
+    }
+    // Observational steal visibility: deltas include steals performed for
+    // concurrently running scenarios, so these are never byte-compared.
+    registry_.add(handles_.tasks_stolen, pool.tasks_stolen() - stolen_before);
+    registry_.add(handles_.steal_attempts,
+                  pool.steal_attempts() - attempts_before);
   } else {
     for (std::size_t k = 0; k < plans.size(); ++k) guarded_solve(k);
   }

@@ -22,7 +22,8 @@
 //
 // Batches larger than `max_jobs_per_solve` decompose into independent chunk
 // MILPs.  Chunk solves are structured as a three-stage pipeline so they can
-// fan out across `util::ThreadPool` without any shared mutable state:
+// fan out across the process-global work-stealing pool
+// (`util::WorkStealingPool::global()`) without any shared mutable state:
 //
 //   1. `plan_chunks()` partitions the window's remaining capacity into
 //      per-chunk quotas up front (proportional largest-remainder per region,
@@ -42,9 +43,13 @@
 // `ChunkPlan` (the solver itself is deterministic and keeps no global
 // state), and the commit order is the chunk index, never completion order.
 // Decision streams and campaign aggregates are therefore byte-identical for
-// every `solver_threads` value; tests/core_scheduler_parallel_test.cpp,
+// every `solver_threads` value and under any steal interleaving of the
+// shared pool; tests/core_scheduler_parallel_test.cpp,
 // bench_fig8/11/12's equivalence check, and bench_fig13's startup
-// self-check enforce it.
+// self-check enforce it.  Work stealing is observable only through the
+// `pool.*` registry entries (tasks_stolen / steal_attempts counters and a
+// queue_depth gauge), which — like decision latency — are observational and
+// excluded from byte-identity comparisons.
 //
 // Knobs: `WaterWiseConfig::solver_threads` (1 = serial, 0 = all cores) and
 // the `WW_SCHED_THREADS` environment switch, which overrides the config
@@ -75,7 +80,7 @@
 #include "dc/scheduler.hpp"
 #include "milp/branch_and_bound.hpp"
 #include "obs/registry.hpp"
-#include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace ww::core {
 
@@ -410,6 +415,10 @@ class WaterWiseScheduler final : public dc::Scheduler {
     obs::Counter fallback_placements, deferred_jobs, windows;
     obs::Gauge presolve_seconds, solve_seconds;
     obs::Hist decision_latency_s, queue_depth, time_to_admission_s;
+    /// Work-stealing visibility (observational, like decision_latency_s:
+    /// steal interleavings vary run to run and are never byte-compared).
+    obs::Counter tasks_stolen, steal_attempts;
+    obs::Gauge pool_depth;
   };
   void register_metrics();
   /// Folds a per-chunk SchedulerStats delta into the registry counters.
@@ -422,9 +431,9 @@ class WaterWiseScheduler final : public dc::Scheduler {
   /// Compatibility view rebuilt from the registry by stats().
   mutable SchedulerStats stats_view_;
   std::vector<RegionHealth> health_;
-  /// Lazily created on the first multi-chunk window when
-  /// effective_solver_threads() > 1; single-chunk windows never pay for it.
-  std::unique_ptr<util::ThreadPool> pool_;
+  // No scheduler-local pool: multi-chunk windows fan out on the process
+  // global util::WorkStealingPool, so campaign scenario tasks and chunk
+  // subtasks share one set of workers (no nested-pool oversubscription).
 };
 
 }  // namespace ww::core

@@ -4,8 +4,8 @@
 #include <utility>
 
 #include "obs/trace.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/work_steal.hpp"
 
 namespace ww::dc {
 
@@ -64,8 +64,12 @@ std::vector<ScenarioOutcome> CampaignRunner::run_all() {
   if (config_.jobs == 1) {
     for (std::size_t i = 0; i < scenarios_.size(); ++i) run_one(i);
   } else {
-    util::ThreadPool pool(config_.jobs);
-    pool.parallel_for(scenarios_.size(), run_one);
+    // Scenarios fan onto the process-global work-stealing pool — the same
+    // pool the schedulers inside them use for chunk solves, so a campaign
+    // of K scenarios × C chunks shares one set of workers instead of
+    // oversubscribing K·C threads across nested pools.  Outcome slots are
+    // written by add() index, so stealing never reorders results.
+    util::global_parallel_for(config_.jobs, scenarios_.size(), run_one);
   }
   return outcomes;
 }

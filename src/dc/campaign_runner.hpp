@@ -1,5 +1,5 @@
-// Parallel campaign engine: fans independent Simulator runs across a
-// ThreadPool with shared-nothing per-scenario state.
+// Parallel campaign engine: fans independent Simulator runs across the
+// process-global work-stealing pool with shared-nothing per-scenario state.
 //
 // A campaign is an ordered list of scenarios (lambda sweeps, capacity
 // scaling, region subsets, ...).  Each scenario body builds everything it
@@ -52,7 +52,10 @@ struct ScenarioOutcome {
 };
 
 struct CampaignConfig {
-  /// Worker threads for the fan-out; 0 selects hardware concurrency.
+  /// Concurrency floor for the fan-out: the global work-stealing pool is
+  /// grown to at least this many workers (0 selects hardware concurrency;
+  /// 1 runs scenarios inline on the calling thread).  Scenario tasks and
+  /// the chunk subtasks their schedulers spawn share those workers.
   std::size_t jobs = 0;
   /// Master seed; per-scenario streams are derived children.
   std::uint64_t seed = 7;

@@ -1,11 +1,11 @@
-// Contention stress for the ThreadPool and the chunk-parallel scheduler,
-// written to give ThreadSanitizer real interleavings to chew on: worker
-// counts oversubscribe the cores on purpose, tasks are tiny so the queue
-// lock is hot, pools nest the way a campaign nests scenario and chunk
-// fan-out, and every result is still checked byte-identical against a
-// serial run.  The TSan CI job runs this suite (default and
-// WW_SCHED_THREADS=2); under ASan/Release it doubles as a functional
-// oversubscription test.
+// Contention stress for the work-stealing pool and the chunk-parallel
+// scheduler, written to give ThreadSanitizer real interleavings to chew
+// on: worker counts oversubscribe the cores on purpose, tasks are tiny so
+// the deque locks are hot, nested TaskGroups reproduce the scenario x
+// chunk fan-out on one shared pool, and every result is still checked
+// byte-identical against a serial run.  The TSan CI job runs this suite
+// (default plus WW_SCHED_THREADS=2 and =4 reruns); under ASan/Release it
+// doubles as a functional oversubscription test.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,7 +18,7 @@
 #include "dc/simulator.hpp"
 #include "trace/generator.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace ww::core {
 namespace {
@@ -26,14 +26,15 @@ namespace {
 std::size_t oversubscribed() {
   // 4x the cores, at least 8: enough that workers genuinely preempt each
   // other even on a 1-core CI runner.
-  return std::max<std::size_t>(8, 4 * util::ThreadPool::resolve_threads(0));
+  return std::max<std::size_t>(
+      8, 4 * util::WorkStealingPool::resolve_threads(0));
 }
 
-TEST(ThreadPoolContention, TinyTasksUnderOversubscription) {
-  // Many tasks, each a few nanoseconds of work: the mutex/condvar handoff
-  // is the program.  Disjoint slots catch lost or duplicated tasks; the
-  // atomic total catches torn accumulation.
-  util::ThreadPool pool(oversubscribed());
+TEST(WorkStealContention, TinyTasksUnderOversubscription) {
+  // Many tasks, each a few nanoseconds of work: the deque lock and the
+  // notify/park handoff are the program.  Disjoint slots catch lost or
+  // duplicated tasks; the atomic total catches torn accumulation.
+  util::WorkStealingPool pool(oversubscribed());
   constexpr std::size_t kTasks = 4000;
   std::vector<int> slot(kTasks, 0);
   std::atomic<long> total{0};
@@ -46,38 +47,51 @@ TEST(ThreadPoolContention, TinyTasksUnderOversubscription) {
             static_cast<long>(kTasks) * (static_cast<long>(kTasks) - 1) / 2);
 }
 
-TEST(ThreadPoolContention, NestedPoolsScenarioTimesChunkShape) {
-  // The campaign shape ROADMAP item 1 will merge onto one pool: an outer
-  // pool fans "scenarios", each of which builds its own inner pool and
-  // fans "chunks".  Until work stealing lands, this is the oversubscribed
-  // nested-pool path — it must stay correct (and race-free) even if slow.
-  util::ThreadPool outer(4);
+TEST(WorkStealContention, NestedFanOutScenarioTimesChunkShape) {
+  // The unified-pool replacement for the old nested-pool case: one pool,
+  // an outer TaskGroup fanning "scenarios", each scenario task spawning
+  // its "chunk" subtasks into the *same* pool through a nested TaskGroup
+  // and helping while it waits.  With only 4 workers for 6 x 32 tasks,
+  // every join must help or this deadlocks — stealing and helping are
+  // exercised hard, and the per-slot commits stay index-ordered.
+  util::WorkStealingPool pool(4);
   constexpr std::size_t kScenarios = 6;
   constexpr std::size_t kChunks = 32;
   std::vector<long> scenario_sum(kScenarios, 0);
-  outer.parallel_for(kScenarios, [&](std::size_t s) {
-    util::ThreadPool inner(3);
-    std::vector<long> chunk(kChunks, 0);
-    inner.parallel_for(kChunks, [&](std::size_t c) {
-      chunk[c] = static_cast<long>(s * 1000 + c);
-    });
-    long sum = 0;
-    for (const long v : chunk) sum += v;
-    scenario_sum[s] = sum;  // disjoint per-scenario slot
-  });
+  {
+    util::TaskGroup outer(pool);
+    for (std::size_t s = 0; s < kScenarios; ++s) {
+      outer.spawn([&pool, &scenario_sum, s] {
+        std::vector<long> chunk(kChunks, 0);
+        {
+          util::TaskGroup inner(pool);
+          for (std::size_t c = 0; c < kChunks; ++c)
+            inner.spawn([&chunk, s, c] {
+              chunk[c] = static_cast<long>(s * 1000 + c);
+            });
+          inner.wait();
+        }
+        long sum = 0;
+        for (const long v : chunk) sum += v;
+        scenario_sum[s] = sum;  // disjoint per-scenario slot
+      });
+    }
+    outer.wait();
+  }
   for (std::size_t s = 0; s < kScenarios; ++s) {
     const long base = static_cast<long>(s) * 1000 * kChunks;
     const long tail = kChunks * (kChunks - 1) / 2;
     EXPECT_EQ(scenario_sum[s], base + tail) << "scenario " << s;
   }
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
-TEST(ThreadPoolContention, ReusedPoolAcrossManyWaves) {
-  // The scheduler keeps one lazily-built pool alive across batch windows;
-  // hammer that pattern: many short parallel_for waves on one pool, with
-  // the wave count high enough that workers go idle and get re-woken
+TEST(WorkStealContention, ReusedPoolAcrossManyWaves) {
+  // The process keeps one global pool alive across batch windows; hammer
+  // that pattern: many short parallel_for waves on one pool, with the
+  // wave count high enough that workers go idle and get re-woken
   // constantly (the notify/wait edge is where lost-wakeup bugs live).
-  util::ThreadPool pool(oversubscribed());
+  util::WorkStealingPool pool(oversubscribed());
   std::atomic<long> hits{0};
   for (int wave = 0; wave < 200; ++wave) {
     pool.parallel_for(17, [&](std::size_t) {
@@ -189,10 +203,11 @@ TEST(SchedulerContention, ManySmallWindowsOversubscribedMatchesSerial) {
 TEST(SchedulerContention, CampaignOverOversubscribedSchedulersMatchesSerial) {
   // Scenario fan-out x chunk fan-out at once: a CampaignRunner drives
   // parallel scenarios, each running a Simulator whose WaterWise scheduler
-  // itself fans chunks across an oversubscribed pool.  This is the nested
-  // K*C oversubscription described in ROADMAP item 1, and the reason the
-  // TSan job exists: commit()'s in-order merge is the only thing standing
-  // between completion order and the output stream.
+  // itself fans chunks — all onto the one global work-stealing pool, with
+  // the worker floor pushed far past the core count.  This is the K*C
+  // shape that motivated the unified pool, and the reason the TSan job
+  // exists: index-ordered commits are the only thing standing between
+  // steal/completion order and the output stream.
   const auto jobs = burst_trace(30, 0.0);
   const auto run_campaign = [&](std::size_t campaign_jobs,
                                 int solver_threads) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/waterwise.hpp"
+#include "dc/campaign_runner.hpp"
 #include "dc/simulator.hpp"
 #include "env/faults.hpp"
 #include "obs/trace.hpp"
@@ -549,6 +550,81 @@ TEST(ChunkParallel, FaultCampaignByteIdenticalAcrossThreadsAndPresolve) {
             << tag << " job " << i;
         EXPECT_EQ(res.jobs[i].start_time, ref.jobs[i].start_time)
             << tag << " job " << i;
+      }
+    }
+  }
+}
+
+TEST(ChunkParallel, CampaignMatrixByteIdenticalAcrossThreadsPresolveFaults) {
+  // The unified-pool acceptance sweep: scenario fan-out (CampaignRunner
+  // jobs > 1) and chunk fan-out (solver_threads > 1) share the one global
+  // work-stealing pool, swept over threads {1, 2, 4, 8} x presolve on/off
+  // x injected solve-fault rate {0, 0.35}.  Per fault rate, every
+  // combination must byte-match the serial presolve-on reference — per-job
+  // streams included — because stealing may reorder execution but results
+  // commit in scenario-index / chunk-index order.
+  const auto jobs = burst_trace(24, 0.0);
+  const double tols[3] = {0.25, 0.5, 1.0};
+
+  auto run_campaign = [&](int threads, bool presolve, double fault_rate) {
+    dc::CampaignConfig ccfg;
+    ccfg.jobs = static_cast<std::size_t>(threads);
+    ccfg.seed = 17;
+    dc::CampaignRunner runner(ccfg);
+    for (int s = 0; s < 3; ++s) {
+      const double tol = tols[s];
+      runner.add("tol" + std::to_string(s), [&, tol](dc::ScenarioContext&) {
+        const env::Environment env = env::Environment::builtin(small_env());
+        const footprint::FootprintModel fp(env);
+        WaterWiseConfig cfg;
+        cfg.max_jobs_per_solve = 6;  // 24 jobs -> 4 chunks per window
+        cfg.solver_threads = threads;
+        cfg.solver.presolve = presolve;
+        cfg.solve_failure_rate = fault_rate;
+        cfg.fault_seed = 909;
+        WaterWiseScheduler ww(cfg);
+        dc::SimConfig sim_cfg;
+        sim_cfg.tol = tol;
+        sim_cfg.record_jobs = true;
+        dc::Simulator sim(env, fp, sim_cfg);
+        return sim.run(jobs, ww);
+      });
+    }
+    return runner.run_all();
+  };
+
+  for (const double fault_rate : {0.0, 0.35}) {
+    const auto ref = run_campaign(1, true, fault_rate);
+    ASSERT_EQ(ref.size(), 3u);
+    ASSERT_EQ(ref[0].result.num_jobs, 24);
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const bool presolve : {true, false}) {
+        if (threads == 1 && presolve) continue;  // the reference itself
+        const auto got = run_campaign(threads, presolve, fault_rate);
+        const std::string tag = "threads=" + std::to_string(threads) +
+                                (presolve ? " presolve" : " raw") +
+                                " faults=" + std::to_string(fault_rate);
+        ASSERT_EQ(got.size(), ref.size()) << tag;
+        for (std::size_t s = 0; s < ref.size(); ++s) {
+          const dc::CampaignResult& a = ref[s].result;
+          const dc::CampaignResult& b = got[s].result;
+          const std::string stag = tag + " " + ref[s].label;
+          EXPECT_EQ(got[s].label, ref[s].label) << tag;
+          EXPECT_EQ(b.num_jobs, a.num_jobs) << stag;
+          EXPECT_EQ(b.total_carbon_g, a.total_carbon_g) << stag;
+          EXPECT_EQ(b.total_water_l, a.total_water_l) << stag;
+          EXPECT_EQ(b.violations, a.violations) << stag;
+          EXPECT_EQ(b.jobs_per_region, a.jobs_per_region) << stag;
+          EXPECT_EQ(b.makespan_seconds, a.makespan_seconds) << stag;
+          ASSERT_EQ(b.jobs.size(), a.jobs.size()) << stag;
+          for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+            EXPECT_EQ(b.jobs[i].job_id, a.jobs[i].job_id) << stag;
+            EXPECT_EQ(b.jobs[i].exec_region, a.jobs[i].exec_region)
+                << stag << " job " << i;
+            EXPECT_EQ(b.jobs[i].start_time, a.jobs[i].start_time)
+                << stag << " job " << i;
+          }
+        }
       }
     }
   }

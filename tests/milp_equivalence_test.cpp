@@ -16,7 +16,7 @@
 #include "milp/instances.hpp"
 #include "milp/model.hpp"
 #include "obs/trace.hpp"
-#include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace ww::milp {
 namespace {
@@ -116,11 +116,11 @@ TEST(MilpEquivalence, PureLpModesAgree) {
 
 TEST(MilpEquivalence, ConcurrentSolvesMatchSerialBitwise) {
   // The scheduler's plan/solve/commit pipeline fans independent chunk MILPs
-  // across util::ThreadPool, which is only sound if milp::solve keeps no
-  // shared mutable state: eight simultaneous solves of each corpus family
+  // across the work-stealing pool, which is only sound if milp::solve keeps
+  // no shared mutable state: eight simultaneous solves of each corpus family
   // must return bitwise the answer of a serial solve.  (The solver is
   // deterministic, so "equal" here means ==, not within a tolerance.)
-  util::ThreadPool pool(4);
+  util::WorkStealingPool pool(4);
   for (Instance& inst : corpus()) {
     const Solution ref = solve(inst.model, mode_options(0xF));
     ASSERT_EQ(ref.status, Status::Optimal) << inst.name;

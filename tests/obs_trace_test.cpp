@@ -6,7 +6,7 @@
 #include <latch>
 #include <string>
 
-#include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace ww::obs {
 namespace {
@@ -111,7 +111,7 @@ TEST_F(TraceTest, ClearKeepsBuffersRegistered) {
 
 TEST_F(TraceTest, WorkerThreadsGetOwnBuffers) {
   Trace::instance().set_enabled(true);
-  util::ThreadPool pool(2);
+  util::WorkStealingPool pool(2);
   // On a single-core host one worker can drain every task before the
   // other wakes; the latch forces both workers to hold a task at once so
   // each must register its own per-thread buffer.

@@ -1,3 +1,8 @@
+// Unit tests for the legacy isolated ThreadPool.  Production fan-out goes
+// through util::WorkStealingPool (see util_work_stealing_test.cpp); this
+// pool remains for tests that need a private, fully isolated worker set,
+// which is why every construction below carries an owner-thread-pool
+// det-ok waiver.
 #include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -10,7 +15,7 @@ namespace ww::util {
 namespace {
 
 TEST(ThreadPool, RunsSubmittedTasks) {
-  ThreadPool pool(4);
+  ThreadPool pool(4);  // det-ok: legacy pool unit test
   auto f1 = pool.submit([] { return 21 * 2; });
   auto f2 = pool.submit([] { return std::string("ok"); });
   EXPECT_EQ(f1.get(), 42);
@@ -18,20 +23,20 @@ TEST(ThreadPool, RunsSubmittedTasks) {
 }
 
 TEST(ThreadPool, ParallelForCoversAllIndices) {
-  ThreadPool pool(4);
+  ThreadPool pool(4);  // det-ok: legacy pool unit test
   std::vector<std::atomic<int>> hits(100);
   pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, PropagatesExceptions) {
-  ThreadPool pool(2);
+  ThreadPool pool(2);  // det-ok: legacy pool unit test
   auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
 TEST(ThreadPool, ParallelForPropagatesException) {
-  ThreadPool pool(2);
+  ThreadPool pool(2);  // det-ok: legacy pool unit test
   EXPECT_THROW(pool.parallel_for(10,
                                  [](std::size_t i) {
                                    if (i == 5) throw std::logic_error("bad");
@@ -44,7 +49,7 @@ TEST(ThreadPool, ParallelForDrainsQueueOnException) {
   // drain every future before rethrowing, or workers invoke a dangling
   // reference once the caller's frame unwinds (stack-use-after-scope, caught
   // under ASan).
-  ThreadPool pool(2);
+  ThreadPool pool(2);  // det-ok: legacy pool unit test
   std::atomic<int> ran{0};
   EXPECT_THROW(pool.parallel_for(256,
                                  [&](std::size_t i) {
@@ -57,7 +62,7 @@ TEST(ThreadPool, ParallelForDrainsQueueOnException) {
 TEST(ThreadPool, ParallelForSkipsQueuedTasksAfterException) {
   // Fail fast: with a single worker tasks run in submit order, so nothing
   // queued behind the throwing task may execute.
-  ThreadPool pool(1);
+  ThreadPool pool(1);  // det-ok: legacy pool unit test
   std::atomic<int> ran{0};
   EXPECT_THROW(pool.parallel_for(100,
                                  [&](std::size_t i) {
@@ -71,12 +76,12 @@ TEST(ThreadPool, ParallelForSkipsQueuedTasksAfterException) {
 TEST(ThreadPool, ResolveThreadsMatchesConstructedPool) {
   EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
   EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
-  ThreadPool pool(0);
+  ThreadPool pool(0);  // det-ok: legacy pool unit test
   EXPECT_EQ(pool.size(), ThreadPool::resolve_threads(0));
 }
 
 TEST(ThreadPool, ManySmallTasks) {
-  ThreadPool pool(8);
+  ThreadPool pool(8);  // det-ok: legacy pool unit test
   std::atomic<long> total{0};
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 1000; ++i)
@@ -86,7 +91,7 @@ TEST(ThreadPool, ManySmallTasks) {
 }
 
 TEST(ThreadPool, DefaultSizeAtLeastOne) {
-  ThreadPool pool;
+  ThreadPool pool;  // det-ok: legacy pool unit test
   EXPECT_GE(pool.size(), 1u);
 }
 

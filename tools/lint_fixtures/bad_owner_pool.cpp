@@ -1,0 +1,20 @@
+// PATH: src/dc/owner_pool.cpp
+// EXPECT: 11:owner-thread-pool
+// EXPECT: 12:owner-thread-pool
+// EXPECT: 13:owner-thread-pool
+// Fixture: per-owner ThreadPool construction outside src/util.  Fan-out
+// must go through the process-global work-stealing pool so campaign
+// scenario tasks and chunk subtasks share one scheduler.
+#include "util/thread_pool.hpp"
+
+void owner_pools() {
+  ww::util::ThreadPool pool(4);
+  auto* leaked = new ww::util::ThreadPool(2);
+  auto owned = std::make_unique<ww::util::ThreadPool>(8);
+  // det-ok: isolated legacy-pool test double, never shared with the solver
+  ww::util::ThreadPool waived(1);
+  (void)pool;
+  (void)leaked;
+  (void)owned;
+  (void)waived;
+}
