@@ -178,7 +178,10 @@ int main() {
   // Scenarios × chunks under faults: a one-burst campaign (injected solve
   // failures layered on the outage storm) re-run at the four
   // (campaign jobs, solver_threads) corners of the unified work-stealing
-  // pool.  Merged aggregates must stay byte-identical — stealing must stay
+  // pool.  The corners vary the *fan-out shape* — which layers spawn tasks
+  // versus run inline — not the worker count (the global pool never
+  // shrinks, so every non-inline corner runs on the same worker set).
+  // Merged aggregates must stay byte-identical — stealing must stay
   // invisible even when the retry-then-degrade ladder reshuffles work.
   {
     auto burst = trace::generate_trace(trace::borg_config(11, 0.04));
@@ -211,10 +214,13 @@ int main() {
       const auto sweep_outcomes = sweep.run_all();
       const dc::CampaignResult total =
           dc::CampaignRunner::merged_totals(sweep_outcomes);
-      std::cout << "[scaling] fault storm, " << corner.jobs
-                << " scenario job(s) x " << corner.threads
-                << " solver thread(s): "
-                << (pool.tasks_stolen() - stolen_before) << " task(s) stolen\n";
+      std::cout << "[fan-out] fault storm, "
+                << (corner.jobs > 1 ? "scenarios spawned" : "scenarios inline")
+                << " x "
+                << (corner.threads > 1 ? "chunks spawned" : "chunks inline")
+                << " (jobs=" << corner.jobs << ", threads=" << corner.threads
+                << "): " << (pool.tasks_stolen() - stolen_before)
+                << " task(s) stolen on " << pool.size() << " worker(s)\n";
       if (!ref) {
         ref = total;
         continue;
@@ -224,11 +230,11 @@ int main() {
                   total.total_water_l == ref->total_water_l &&
                   total.total_cost_usd == ref->total_cost_usd &&
                   total.violations == ref->violations,
-              "fault-storm scenarios x chunks corner diverged from the "
-              "serial aggregate");
+              "fault-storm scenarios x chunks fan-out shape diverged from "
+              "the serial aggregate");
     }
-    std::cout << "[scaling] fault-injected campaign byte-identical at all "
-                 "four (jobs x solver_threads) corners\n";
+    std::cout << "[fan-out] fault-injected campaign byte-identical at all "
+                 "four (jobs x solver_threads) fan-out shapes\n";
   }
   bench::print_pool_counters("fault storms");
 

@@ -87,14 +87,18 @@ void chunk_parallel_selfcheck() {
   }
 }
 
-/// Scenarios × chunks scaling panel: the same K-scenario × C-chunk campaign
-/// run at the four (campaign jobs, solver_threads) corners.  (K, C) used to
-/// be the nested-pool configuration that oversubscribed K·C threads across
-/// two ThreadPools; every corner now shares the one work-stealing pool, with
-/// scenario tasks spawning chunk subtasks into the same deques.  Campaign
-/// aggregates must be byte-identical across all four corners — the panel
+/// Scenarios × chunks fan-out-shape panel: the same K-scenario × C-chunk
+/// campaign run at the four (campaign jobs, solver_threads) corners.  (K, C)
+/// used to be the nested-pool configuration that oversubscribed K·C threads
+/// across two ThreadPools; every corner now shares the one work-stealing
+/// pool, so the knobs select the *fan-out shape* — which layers spawn tasks
+/// versus run inline — not the worker count: the global pool is created with
+/// hardware_concurrency workers and `ensure_workers` only grows it, so all
+/// non-inline corners execute on the same full-size worker set.  Campaign
+/// aggregates must be byte-identical across all four shapes — the panel
 /// exits nonzero on divergence — while wall-clock and the steal counters
-/// (observational) show how the pool behaves.
+/// (observational) show how the pool behaves; wall-clock deltas here compare
+/// task granularities, not thread counts.
 void scenario_chunk_scaling_panel() {
   using namespace ww;
   auto jobs = trace::generate_trace(trace::borg_config(7, 0.05));
@@ -106,10 +110,10 @@ void scenario_chunk_scaling_panel() {
     int threads;
   };
   const Corner corners[] = {
-      {"1 scenario job x 1 solver thread (serial)", 1, 1},
-      {"4 scenario jobs x 1 solver thread", 4, 1},
-      {"1 scenario job x 4 solver threads", 1, 4},
-      {"4 scenario jobs x 4 solver threads (was nested pools)", 4, 4},
+      {"scenarios inline, chunks inline (serial)", 1, 1},
+      {"scenarios spawned, chunks inline", 4, 1},
+      {"scenarios inline, chunks spawned", 1, 4},
+      {"scenarios spawned, chunks spawned (was nested pools)", 4, 4},
   };
   std::optional<dc::CampaignResult> ref;
   for (const auto& corner : corners) {
@@ -134,9 +138,10 @@ void scenario_chunk_scaling_panel() {
     const double seconds = watch.elapsed_seconds();
     const dc::CampaignResult total =
         dc::CampaignRunner::merged_totals(outcomes);
-    std::cout << "[scaling] " << corner.label << ": "
+    std::cout << "[fan-out] " << corner.label << ": "
               << util::Table::fixed(seconds * 1000.0, 1) << " ms, "
-              << (pool.tasks_stolen() - stolen_before) << " task(s) stolen\n";
+              << (pool.tasks_stolen() - stolen_before) << " task(s) stolen on "
+              << pool.size() << " worker(s)\n";
     if (!ref) {
       ref = total;
       continue;
@@ -147,13 +152,13 @@ void scenario_chunk_scaling_panel() {
                       total.total_cost_usd == ref->total_cost_usd &&
                       total.violations == ref->violations;
     if (!same) {
-      std::cerr << "self-check FAILED: scenarios x chunks corner '"
+      std::cerr << "self-check FAILED: scenarios x chunks fan-out shape '"
                 << corner.label
                 << "' diverged from the serial campaign aggregate\n";
       std::exit(1);
     }
   }
-  std::cout << "[scaling] all four (jobs x solver_threads) corners "
+  std::cout << "[fan-out] all four (jobs x solver_threads) fan-out shapes "
                "byte-identical on the unified pool\n";
 }
 

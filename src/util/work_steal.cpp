@@ -1,7 +1,6 @@
 #include "util/work_steal.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -92,12 +91,20 @@ void WorkStealingPool::submit(std::function<void()> task) {
   if (stopping_.load(std::memory_order_acquire))
     throw std::runtime_error("WorkStealingPool: spawn after stop");
   // Increment before the push so queued_ never underflows: a dequeue can
-  // only succeed after the push, which follows this increment.
+  // only succeed after the push, which follows this increment. If the push
+  // itself throws (bad_alloc in the deque), roll the count back — a stale
+  // nonzero queued_ would keep every idle worker's sleep predicate true
+  // forever (busy-spin with nothing to dequeue).
   queued_.fetch_add(1, std::memory_order_acq_rel);
-  if (tls_current.pool == this) {
-    workers_[tls_current.id]->deque.push_bottom(std::move(task));
-  } else {
-    inject_.push_bottom(std::move(task));
+  try {
+    if (tls_current.pool == this) {
+      workers_[tls_current.id]->deque.push_bottom(std::move(task));
+    } else {
+      inject_.push_bottom(std::move(task));
+    }
+  } catch (...) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
   }
   notify_one_worker();
 }
@@ -156,6 +163,13 @@ void WorkStealingPool::notify_all_workers() {
   sleep_cv_.notify_all();
 }
 
+void WorkStealingPool::wait_for_work(const std::function<bool()>& done) {
+  std::unique_lock lock(sleep_mutex_);
+  sleep_cv_.wait(lock, [this, &done] {
+    return done() || queued_.load(std::memory_order_acquire) > 0;
+  });
+}
+
 void WorkStealingPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -207,35 +221,58 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::spawn(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  pool_.submit([this, fn = std::move(fn)]() mutable {
-    try {
-      fn();
-    } catch (...) {
-      const std::lock_guard lock(mutex_);
-      if (!error_) error_ = std::current_exception();
-    }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Lock before notifying so a waiter between its predicate check and
-      // its park cannot miss the completion.
-      const std::lock_guard lock(mutex_);
-      done_cv_.notify_all();
-    }
-  });
+  try {
+    // `&pool = pool_` is captured separately because the epilogue below may
+    // run after wait() has returned and the group been destroyed; past that
+    // point the wrapper must not read through `this` (see below).
+    pool_.submit([this, &pool = pool_, fn = std::move(fn)]() mutable {
+      std::exception_ptr err;
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      bool last = false;
+      {
+        // Decrement pending_ while holding mutex_. wait() re-takes mutex_
+        // after observing pending_ == 0, so by the time it can return this
+        // wrapper has provably released the lock — decrementing first and
+        // locking after would let a waiter slip through, destroy the group,
+        // and leave us locking a dead mutex.
+        const std::lock_guard lock(mutex_);
+        if (err && !error_) error_ = std::move(err);
+        last = pending_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+      }
+      // Group members are off limits from here on. Wake any waiter parked
+      // on the pool's channel (idle workers re-check their predicate and
+      // park again). The captured pool reference outlives the group.
+      if (last) pool.notify_all_workers();
+    });
+  } catch (...) {
+    // submit() threw (pool stopping, or bad_alloc building the wrapper):
+    // the task will never run, so roll back the count a wait() — including
+    // the destructor's — would otherwise block on forever.
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
+  }
 }
 
 void TaskGroup::wait() {
   while (pending_.load(std::memory_order_acquire) != 0) {
     // Help while waiting: run any pending pool task (this group's or
     // another's) instead of parking the thread. Only when every deque is
-    // observed empty — all remaining work running on other threads — do
-    // we block, with a short timeout so late-spawned tasks are helped too.
+    // observed empty — all remaining work running on other threads — do we
+    // park, on the pool's wake channel: submit() notifies it for every new
+    // task (so late-spawned work is helped immediately) and the last task's
+    // wrapper notifies it on group completion, so no timed repoll is needed.
     if (pool_.try_run_one()) continue;
-    std::unique_lock lock(mutex_);
-    // det-ok: helping-join repoll interval, never reaches any outcome
-    done_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
-      return pending_.load(std::memory_order_acquire) == 0;
-    });
+    pool_.wait_for_work(
+        [this] { return pending_.load(std::memory_order_acquire) == 0; });
   }
+  // pending_ reached 0, so no wrapper will touch error_ again; taking
+  // mutex_ here additionally guarantees the last wrapper has *released* the
+  // lock it decremented under, making it safe for the caller to destroy the
+  // group the moment we return.
   std::exception_ptr err;
   {
     const std::lock_guard lock(mutex_);

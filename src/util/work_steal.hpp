@@ -59,11 +59,20 @@ class WorkStealingPool;
 /// of them. wait() is a *helping* join — while the group has pending tasks,
 /// the waiting thread pops its own deque (if it is a pool worker) and steals
 /// from others, so a scenario task blocked on its chunk subtasks executes
-/// pending work instead of parking a worker. The first exception thrown by a
-/// spawned task is captured and rethrown from wait(); capture order under
-/// concurrency is nondeterministic, so callers needing a deterministic error
-/// (lowest index) should use parallel_for or catch inside the task, as
-/// WaterWiseScheduler's guarded_solve does.
+/// pending work instead of parking a worker. When every deque is observed
+/// empty the waiter parks on the pool's wake channel, which both new
+/// submissions and this group's completion notify — no timed repoll. The
+/// first exception thrown by a spawned task is captured and rethrown from
+/// wait(); capture order under concurrency is nondeterministic, so callers
+/// needing a deterministic error (lowest index) should use parallel_for or
+/// catch inside the task, as WaterWiseScheduler's guarded_solve does.
+///
+/// Lifetime: a finishing task decrements pending_ while holding mutex_, and
+/// wait() takes mutex_ after observing pending_ == 0 before returning, so by
+/// the time wait() returns the last task wrapper has provably released the
+/// lock and never touches the group again — the (typically stack-allocated)
+/// group is then safe to destroy even though that wrapper may still be
+/// running epilogue code against the pool.
 class TaskGroup {
  public:
   explicit TaskGroup(WorkStealingPool& pool);
@@ -87,8 +96,12 @@ class TaskGroup {
  private:
   WorkStealingPool& pool_;
   std::atomic<std::size_t> pending_{0};
+  // Guards error_ and the pending_ decrement (see class comment: the
+  // decrement-under-lock is what makes destroying the group right after
+  // wait() returns safe). Group completion is signalled through the pool's
+  // wake channel, not a per-group condition variable, so parked waiters and
+  // idle workers share one notification path.
   std::mutex mutex_;
-  std::condition_variable done_cv_;
   std::exception_ptr error_;
 };
 
@@ -170,6 +183,12 @@ class WorkStealingPool {
   /// injection queue, then a steal sweep over the other workers (FIFO).
   /// Returns false only if every deque was observed empty.
   bool try_run_one();
+
+  /// Parks the calling thread on the pool's wake channel until done() holds
+  /// or queued work appears. Used by TaskGroup::wait(): submit() notifies
+  /// the channel on every enqueue and a group's last task wrapper notifies
+  /// it on completion, so external waiters never need a timed repoll.
+  void wait_for_work(const std::function<bool()>& done);
 
   void worker_loop(std::size_t id);
   void notify_one_worker();

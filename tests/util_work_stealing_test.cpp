@@ -172,6 +172,51 @@ TEST(WorkStealingPool, WaitHelpsWhileSoleWorkerIsBlocked) {
   blocker.wait();
 }
 
+TEST(WorkStealingPool, GroupDestroyedImmediatelyAfterWaitIsSafe) {
+  // Regression for a completion-path lifetime race: the last task's wrapper
+  // used to decrement pending_ *before* locking mutex_ to notify, so a
+  // waiter could observe pending_ == 0, return from wait(), and destroy the
+  // stack-allocated group while the wrapper was still about to lock the now
+  // dead mutex.  Thousands of short-lived groups whose tasks finish right
+  // as wait() returns keep that window hot; the suite's TSan job flags the
+  // use-after-free if the decrement ever moves back outside the lock.
+  WorkStealingPool pool(4);
+  std::atomic<long> ran{0};
+  for (int wave = 0; wave < 1500; ++wave) {
+    TaskGroup group(pool);
+    for (int i = 0; i < 4; ++i)
+      group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    group.wait();
+  }  // group destroyed immediately after wait() on every iteration
+  EXPECT_EQ(ran.load(), 1500L * 4);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(WorkStealingPool, ParkedWaiterWakesOnGroupCompletion) {
+  // The waiter parks on the pool's wake channel once every deque is empty
+  // (the only remaining task is *running* on a worker); the last task's
+  // wrapper must notify that channel or wait() would hang forever.  The
+  // release comes from a separate thread so the waiting main thread really
+  // has nothing to help with.
+  WorkStealingPool pool(2);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  TaskGroup group(pool);
+  group.spawn([&started, &release] {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  // det-ok: test-only releaser thread, off the pool by design
+  std::thread releaser([&started, &release] {
+    while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; i < 1000; ++i) std::this_thread::yield();
+    release.store(true, std::memory_order_release);
+  });
+  group.wait();  // must wake on the completion notification, not a timeout
+  releaser.join();
+  EXPECT_TRUE(release.load());
+}
+
 TEST(WorkStealingPool, StealCountersAreSane) {
   // Counters are observational; what must hold under any interleaving:
   // every executed task is counted once, every successful steal implies an
